@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every benchmark uses ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+the experiments are table regenerations, not microbenchmarks, and each
+run is expensive enough that repeating it adds nothing.  Each benchmark
+prints the table it regenerates (visible with ``pytest -s``) and asserts
+the paper's claimed *shape* on the measured numbers.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one execution of ``func`` and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(func, *args)``: single-shot benchmark wrapper."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

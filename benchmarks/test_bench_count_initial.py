@@ -1,0 +1,80 @@
+"""E19 - ablation: the Eq. 3 ``r = 0`` term (DESIGN.md note 2).
+
+Algorithm 1's text only increments a counter when a walk message is
+*received*, which silently drops the series' ``r = 0`` term: the walk's
+presence at its own source.  Newman's matrix expression includes it
+(Eq. 3 sums from r = 0).  This ablation runs both readings at high K
+(sampling noise suppressed) and shows the literal reading carries a
+systematic error that the r = 0 correction removes - justifying our
+default ``count_initial=True``.
+"""
+
+import numpy as np
+
+from repro.analysis.error import compare_centrality
+from repro.core.exact import rwbc_exact
+from repro.core.montecarlo import estimate_rwbc_montecarlo
+from repro.core.parameters import WalkParameters
+from repro.experiments.report import render_records
+from repro.experiments.workloads import make_workload
+from repro.walks.spectral import length_for_epsilon
+
+K = 3000
+
+
+def collect_rows():
+    rows = []
+    for family, n in (("er", 16), ("grid", 16), ("tree", 12)):
+        workload = make_workload(family, n, seed=19)
+        graph = workload.graph
+        target = graph.canonical_order()[0]
+        length = length_for_epsilon(graph, target, epsilon=0.005)
+        exact = rwbc_exact(graph, target=target)
+        for count_initial in (True, False):
+            result = estimate_rwbc_montecarlo(
+                graph,
+                WalkParameters(length=length, walks_per_source=K),
+                target=target,
+                seed=19,
+                count_initial=count_initial,
+            )
+            errors = compare_centrality(result.betweenness, exact)
+            signed = float(
+                np.mean(
+                    [
+                        (result.betweenness[v] - exact[v]) / exact[v]
+                        for v in graph.nodes()
+                    ]
+                )
+            )
+            rows.append(
+                {
+                    "workload": workload.name,
+                    "count_initial": count_initial,
+                    "mean_rel": errors.mean_relative,
+                    "signed_bias": signed,
+                }
+            )
+    return rows
+
+
+def test_count_initial_ablation(once):
+    rows = once(collect_rows)
+    print(render_records("E19 / the r=0 term ablation", rows))
+
+    by_case = {}
+    for row in rows:
+        by_case.setdefault(row["workload"], {})[row["count_initial"]] = row
+    for label, case in by_case.items():
+        with_term, without = case[True], case[False]
+        # The corrected reading is accurate to sampling noise at K=3000;
+        # the literal reading carries a ~10-20% systematic error.
+        assert with_term["mean_rel"] < 0.05, label
+        assert without["mean_rel"] > 0.10, label
+        assert with_term["mean_rel"] < 0.6 * without["mean_rel"], label
+    # On vertex-homogeneous families the literal reading's error is a
+    # uniformly signed offset (it cancels node-by-node on trees, where
+    # per-node degrees vary more).
+    for label in ("er-16", "grid-16"):
+        case = by_case[label]
+        assert abs(case[False]["signed_bias"]) > 2 * case[True]["mean_rel"]

@@ -1,0 +1,59 @@
+"""E17 - the faithful simulation at laptop scale.
+
+Everything else in the suite runs at n <= 64 to keep iteration fast;
+this bench pushes the *full message-by-message simulation* to n = 200
+and checks the headline properties survive the scale-up:
+
+* total rounds stay ~linear in n (power-law exponent near 1),
+* CONGEST limits hold at every size,
+* ranking quality (Kendall tau vs exact) stays high at log-scale K even
+  though value bias grows (the E15 finding, now visible at n = 100+).
+"""
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.ranking import kendall_tau
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.exact import rwbc_exact
+from repro.core.parameters import WalkParameters
+from repro.experiments.report import render_records
+from repro.graphs.generators import erdos_renyi_graph
+
+SIZES = (50, 100, 200)
+K = 8
+
+
+def one_size(n):
+    graph = erdos_renyi_graph(
+        n, min(0.5, 8.0 / n), seed=n, ensure_connected=True
+    )
+    params = WalkParameters(length=2 * n, walks_per_source=K)
+    result = estimate_rwbc_distributed(graph, params, seed=n)
+    exact = rwbc_exact(graph)
+    return {
+        "n": n,
+        "m": graph.num_edges,
+        "rounds": result.total_rounds,
+        "rounds_counting": result.phase_rounds["counting"],
+        "max_msgs_edge": result.metrics.max_messages_per_edge_round,
+        "max_msg_bits": result.metrics.max_message_bits,
+        "tau": kendall_tau(result.betweenness, exact),
+    }
+
+
+def collect_rows():
+    return [one_size(n) for n in SIZES]
+
+
+def test_scale(once):
+    rows = once(collect_rows)
+    print(render_records("E17 / faithful simulation at scale", rows))
+
+    for row in rows:
+        assert row["max_msgs_edge"] <= 4
+        assert row["tau"] > 0.7, row
+
+    fit = fit_power_law(
+        [row["n"] for row in rows], [row["rounds"] for row in rows]
+    )
+    print(f"rounds ~ n^{fit.exponent:.2f}")
+    assert fit.exponent < 1.3

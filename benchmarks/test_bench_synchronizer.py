@@ -1,0 +1,75 @@
+"""E16 - ablation: the cost of dropping the synchrony assumption.
+
+The CONGEST model assumes lockstep rounds; the alpha synchronizer buys
+that abstraction on an asynchronous network for a constant message
+overhead (one ack per payload + two safe messages per edge per round).
+This bench measures the real overhead factor for BFS and for the full
+RWBC protocol, and checks the simulated round count matches the
+synchronous executor's.
+"""
+
+from repro.congest.asynchronous import run_async
+from repro.congest.primitives.bfs import make_bfs_factory
+from repro.congest.scheduler import run_program
+from repro.core.protocol import ProtocolConfig, make_protocol_factory
+from repro.experiments.report import render_records
+from repro.graphs.generators import cycle_graph, grid_graph
+
+
+def collect_rows():
+    rows = []
+
+    # BFS: the cheapest protocol, worst-case relative overhead.
+    graph = grid_graph(4, 4)
+    sync = run_program(graph, make_bfs_factory(0))
+    asynchronous = run_async(graph, make_bfs_factory(0), seed=0, max_delay=8.0)
+    rows.append(
+        {
+            "protocol": "bfs/grid-16",
+            "sync_rounds": sync.metrics.rounds,
+            "async_rounds": asynchronous.metrics.rounds_completed,
+            "payload_msgs": asynchronous.metrics.payload_messages,
+            "control_msgs": asynchronous.metrics.control_messages,
+            "overhead": asynchronous.metrics.control_messages
+            / max(1, asynchronous.metrics.payload_messages),
+        }
+    )
+
+    # The full RWBC protocol: amortizes control traffic over many walks.
+    graph = cycle_graph(8)
+    config = ProtocolConfig(length=50, walks_per_source=20)
+    from repro.congest.scheduler import Simulator
+
+    sync = Simulator(graph, make_protocol_factory(config), seed=1).run()
+    asynchronous = run_async(
+        graph, make_protocol_factory(config), seed=1, max_delay=8.0
+    )
+    rows.append(
+        {
+            "protocol": "rwbc/cycle-8",
+            "sync_rounds": sync.metrics.rounds,
+            "async_rounds": asynchronous.metrics.rounds_completed,
+            "payload_msgs": asynchronous.metrics.payload_messages,
+            "control_msgs": asynchronous.metrics.control_messages,
+            "overhead": asynchronous.metrics.control_messages
+            / max(1, asynchronous.metrics.payload_messages),
+        }
+    )
+    return rows
+
+
+def test_synchronizer_overhead(once):
+    rows = once(collect_rows)
+    print(render_records("E16 / alpha-synchronizer overhead", rows))
+
+    bfs, rwbc = rows
+    # Simulated rounds track the synchronous executor (small slack for
+    # the drain-out tail; randomness differs so protocol rounds are a
+    # different sample, not an equal number).
+    assert bfs["async_rounds"] <= bfs["sync_rounds"] + 8
+    assert 0.3 * rwbc["sync_rounds"] <= rwbc["async_rounds"] <= 3 * (
+        rwbc["sync_rounds"] + 10
+    )
+    # Control overhead is a bounded multiple of payload traffic for the
+    # chatty protocol (it amortizes: acks ~ payloads, safes ~ edges/round).
+    assert rwbc["overhead"] < 6.0

@@ -1,0 +1,59 @@
+"""E5 - Theorem 4: the protocol satisfies the CONGEST model.
+
+Paper claim: every message is O(log n) bits and each edge carries O(1)
+messages per round.  The simulator enforces this at send time; here we
+*measure* the realized maxima across families and check they track
+c * log2(n) with a small constant, and that per-edge message counts never
+exceed walk_budget + 2 (walks + termination + done wave).
+"""
+
+import math
+
+from repro.core.parameters import WalkParameters
+from repro.experiments.report import render_records
+from repro.experiments.runner import distributed_run_row
+from repro.experiments.workloads import make_workload
+
+WALK_BUDGET = 2
+
+
+def collect_rows():
+    rows = []
+    for family, n in (("er", 20), ("ba", 20), ("cycle", 16), ("grid", 16)):
+        workload = make_workload(family, n, seed=4)
+        params = WalkParameters(
+            length=3 * workload.n,
+            walks_per_source=max(4, int(4 * math.log2(workload.n))),
+        )
+        rows.append(
+            distributed_run_row(
+                workload.graph,
+                params,
+                seed=4,
+                label=workload.name,
+                walk_budget=WALK_BUDGET,
+            )
+        )
+    return rows
+
+
+def test_thm4_congest_compliance(once):
+    rows = once(collect_rows)
+    columns = [
+        "workload",
+        "n",
+        "max_msg_bits",
+        "max_msgs_edge",
+        "max_bits_edge",
+        "rounds",
+    ]
+    print(render_records("E5 / Theorem 4: CONGEST compliance", rows, columns))
+
+    for row in rows:
+        budget = max(48, 8 * math.ceil(math.log2(row["n"])))
+        # O(log n)-bit messages, measured.
+        assert row["max_msg_bits"] <= budget
+        # O(1) messages per edge per round, measured: walks + term + done.
+        assert row["max_msgs_edge"] <= WALK_BUDGET + 2
+        # Total per-edge bits per round stay within (messages x budget).
+        assert row["max_bits_edge"] <= (WALK_BUDGET + 2) * budget

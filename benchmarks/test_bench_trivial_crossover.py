@@ -1,0 +1,97 @@
+"""E9 - section I: the distributed algorithm vs the trivial collect-all.
+
+Paper claim: the trivial algorithm (collect the topology at one node,
+solve locally) costs O(m) rounds, so the O(n log n) distributed
+algorithm wins once m >> n log n.  Both algorithms are *implemented and
+measured* here (repro.core.trivial is the real collect-all: edges
+pipeline up a BFS tree, the leader solves exactly, fixed-point values
+flood back).
+
+Measured refinement of the claim (see EXPERIMENTS.md): collection
+pipelines over the leader's parallel tree links, so its true cost is
+``Theta(max tree-link subtree load + n)``:
+
+* on dense ER graphs the leader has ~n links and the load spreads -
+  the trivial algorithm runs in ~n rounds and BEATS the distributed one
+  (the paper's blanket O(m) is loose there);
+* on bottlenecked topologies (barbell: one bridge carries half the
+  edges) the O(m) bound is tight and the distributed algorithm wins
+  past the crossover - the regime the paper's argument actually needs.
+"""
+
+import math
+
+from repro.core.parameters import WalkParameters
+from repro.core.trivial import trivial_collect_all
+from repro.experiments.report import render_records
+from repro.experiments.runner import distributed_run_row
+from repro.graphs.generators import barbell_graph, erdos_renyi_graph
+
+N_ER = 24
+
+
+def er_rows():
+    rows = []
+    params = WalkParameters(
+        length=3 * N_ER, walks_per_source=max(4, int(2 * math.log2(N_ER)))
+    )
+    for p in (0.15, 0.5, 0.95):
+        graph = erdos_renyi_graph(N_ER, p, seed=9, ensure_connected=True)
+        row = distributed_run_row(graph, params, seed=9, label=f"er-p{p}")
+        trivial = trivial_collect_all(graph, seed=9)
+        row["trivial_rounds"] = trivial.rounds
+        row["distributed_wins"] = row["rounds"] < trivial.rounds
+        rows.append(row)
+    return rows
+
+
+def barbell_rows():
+    rows = []
+    for clique in (8, 12, 16, 20):
+        graph = barbell_graph(clique, 1)
+        n = graph.num_nodes
+        params = WalkParameters(
+            length=2 * n, walks_per_source=max(4, int(2 * math.log2(n)))
+        )
+        row = distributed_run_row(
+            graph, params, seed=9, label=f"barbell-{clique}"
+        )
+        trivial = trivial_collect_all(graph, seed=9)
+        row["trivial_rounds"] = trivial.rounds
+        row["distributed_wins"] = row["rounds"] < trivial.rounds
+        rows.append(row)
+    return rows
+
+
+def collect_rows():
+    return er_rows(), barbell_rows()
+
+
+def test_trivial_crossover(once):
+    er, barbell = once(collect_rows)
+    columns = [
+        "workload",
+        "n",
+        "m",
+        "rounds",
+        "trivial_rounds",
+        "distributed_wins",
+    ]
+    print(render_records("E9a / ER density sweep (no bottleneck)", er, columns))
+    print(render_records("E9b / barbell sweep (bridge bottleneck)", barbell, columns))
+
+    # ER: collection parallelizes; the trivial algorithm stays ~n rounds
+    # and wins at every density - the paper's O(m) model is loose here.
+    for row in er:
+        assert not row["distributed_wins"], row
+    er_trivial = [row["trivial_rounds"] for row in er]
+    assert max(er_trivial) < 2 * min(er_trivial)
+
+    # Barbell: the bridge serializes ~m/2 edge reports, so trivial rounds
+    # track m while the distributed protocol tracks n - and the
+    # distributed algorithm wins past the crossover.
+    barbell_trivial = [row["trivial_rounds"] for row in barbell]
+    assert barbell_trivial == sorted(barbell_trivial)
+    assert barbell_trivial[-1] > 3 * barbell_trivial[0]
+    assert not barbell[0]["distributed_wins"]
+    assert barbell[-1]["distributed_wins"]

@@ -1,0 +1,47 @@
+"""Community detection via current-flow edge betweenness.
+
+Girvan-Newman with Newman's current-flow scores: repeatedly remove the
+edge carrying the most random-walk current until the network splits.
+Applied to Zachary's karate club, it recovers the club's real 1977
+fission almost perfectly.
+
+Run:  python examples/community_detection.py
+"""
+
+from repro.core.edge_betweenness import (
+    edge_current_flow_betweenness,
+    girvan_newman_current_flow,
+)
+from repro.graphs.datasets import karate_club
+
+# The documented 1977 split (Zachary 1977): who followed the instructor.
+MR_HI_FACTION = {0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21}
+
+
+def main() -> None:
+    graph = karate_club()
+    print(f"karate club: n={graph.num_nodes}, m={graph.num_edges}")
+
+    scores = edge_current_flow_betweenness(graph)
+    top5 = sorted(scores, key=scores.get, reverse=True)[:5]
+    print("\nhighest-current edges (the fission lines):")
+    for edge in top5:
+        print(f"  {edge}: {scores[edge]:.4f}")
+
+    parts = girvan_newman_current_flow(graph, communities=2)
+    a, b = parts
+    officer = set(graph.nodes()) - MR_HI_FACTION
+    agreement = max(
+        len(a & MR_HI_FACTION) + len(b & officer),
+        len(a & officer) + len(b & MR_HI_FACTION),
+    )
+    print(f"\ndetected communities: sizes {len(a)} / {len(b)}")
+    print(f"community A: {sorted(a)}")
+    print(f"community B: {sorted(b)}")
+    print(
+        f"\nagreement with the real 1977 factions: {agreement}/34 members"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Tracking brokers in a changing network (incremental exact solver).
+
+Edge churn - links forming and dissolving - is the norm in real
+networks.  Recomputing Newman's betweenness from scratch costs O(n^3)
+per change; the Sherman-Morrison tracker (repro.core.incremental)
+updates the underlying inverse in O(n^2) per edge event.  This script
+simulates churn on a two-community network and watches the broker
+ranking respond.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import numpy as np
+
+from repro.core.incremental import IncrementalRWBC
+from repro.graphs.generators import caveman_pair_graph
+from repro.graphs.graph import GraphError
+
+
+def top3(values):
+    return sorted(values, key=values.get, reverse=True)[:3]
+
+
+def main() -> None:
+    graph = caveman_pair_graph(6, bridges=1, seed=0)
+    tracker = IncrementalRWBC(graph)
+    print(
+        f"two caves of 6, one bridge: n={graph.num_nodes}, "
+        f"m={graph.num_edges}"
+    )
+    print(f"initial top brokers: {top3(tracker.betweenness())}")
+
+    # A second inter-community tie forms: brokerage gets shared.
+    tracker.add_edge(1, 7)
+    print(f"\nafter new weak tie 1--7: top brokers: {top3(tracker.betweenness())}")
+    print(
+        "  bridge effective resistances: "
+        f"original {tracker.effective_resistance(*_bridge(graph)):.3f}, "
+        f"new {tracker.effective_resistance(1, 7):.3f}"
+    )
+
+    # Random churn inside the communities: brokers stay stable.
+    rng = np.random.default_rng(1)
+    events = 0
+    while events < 6:
+        u, v = int(rng.integers(0, 6)), int(rng.integers(0, 6))
+        if u == v:
+            continue
+        try:
+            if tracker.graph.has_edge(u, v):
+                tracker.remove_edge(u, v)
+            else:
+                tracker.add_edge(u, v)
+            events += 1
+        except GraphError:
+            continue  # bridge removal refused - exactly as designed
+    print(
+        f"\nafter {events} intra-community churn events: "
+        f"top brokers: {top3(tracker.betweenness())}"
+    )
+    print(
+        "\nEach update cost O(n^2) (a rank-one inverse update) instead of "
+        "an O(n^3) re-factorization; the tracker's inverse matches a "
+        "fresh solve to 1e-8 throughout (see tests/test_core_incremental)."
+    )
+
+
+def _bridge(graph):
+    for u, v in graph.edges():
+        if (u < 6) != (v < 6):
+            return u, v
+    raise AssertionError("no bridge found")
+
+
+if __name__ == "__main__":
+    main()

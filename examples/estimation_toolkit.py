@@ -1,0 +1,81 @@
+"""The estimation toolkit: choosing and auditing your walk budget.
+
+The paper prescribes l = O(n), K = O(log n); in practice the right
+budget depends on the instance (spectral gap, visit dispersion) and on
+whether you need values or just rankings.  This script shows the three
+tools the library provides:
+
+1. spectral l(eps): the honest per-instance walk length (Theorem 1);
+2. dispersion-based K: which graphs need more walks (Theorem 3's hidden
+   constant);
+3. adaptive doubling + split-sample bias audit: stop when stable, then
+   measure how much of the estimate is noise floor.
+
+Run:  python examples/estimation_toolkit.py
+"""
+
+import numpy as np
+
+from repro.core.adaptive import adaptive_montecarlo
+from repro.core.bias import split_estimate_rwbc
+from repro.core.exact import rwbc_exact
+from repro.graphs.generators import barbell_graph, random_regular_graph
+from repro.walks.spectral import algebraic_connectivity, length_for_epsilon
+from repro.walks.variance import relative_visit_dispersion
+
+
+def signed_bias(estimate, exact):
+    return float(
+        np.mean([(estimate[v] - exact[v]) / exact[v] for v in exact])
+    )
+
+
+def analyze(name, graph):
+    target = graph.canonical_order()[0]
+    print(f"\n=== {name}: n={graph.num_nodes}, m={graph.num_edges} ===")
+
+    gap = algebraic_connectivity(graph)
+    length = length_for_epsilon(graph, target, epsilon=0.02)
+    dispersion = relative_visit_dispersion(graph, target)
+    print(
+        f"spectral gap {gap:.3f} -> l(eps=0.02) = {length} "
+        f"({length / graph.num_nodes:.1f} x n); "
+        f"visit dispersion {dispersion:.1f}"
+    )
+
+    result = adaptive_montecarlo(
+        graph, target=target, tolerance=0.04, seed=0, max_walks=8192,
+        length=length,
+    )
+    exact = rwbc_exact(graph, target=target)
+    print(
+        f"adaptive doubling: stopped at K = {result.walks_per_source} "
+        f"(converged: {result.converged}, "
+        f"{result.iterations} doublings)"
+    )
+
+    audit = split_estimate_rwbc(
+        graph, target, length=length,
+        walks_per_source=max(2, result.walks_per_source), seed=1,
+    )
+    print(
+        f"bias audit at that K: plain {signed_bias(audit.plain, exact):+.3f}, "
+        f"debiased {signed_bias(audit.debiased, exact):+.3f} "
+        f"(mean noise floor "
+        f"{np.mean(list(audit.noise_floor.values())):.4f})"
+    )
+
+
+def main() -> None:
+    analyze("expander (4-regular)", random_regular_graph(16, 4, seed=7))
+    analyze("barbell (heavy-tailed)", barbell_graph(6, 4))
+    print(
+        "\nReading: the barbell needs several times the walk length "
+        "(smaller gap) and carries a far larger noise floor at equal K "
+        "(higher dispersion) - the instance-dependence the paper's "
+        "uniform schedules hide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The section VIII lower-bound construction, hands on.
+
+1. Builds the Fig. 2 graph from a sparse set-disjointness instance.
+2. Verifies the Lemma 5 / Lemma 6 minimality claims exactly.
+3. Runs the distributed protocol over the Alice/Bob cut and measures the
+   bits that actually cross it (the Theorem 7 simulation argument).
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro.congest.scheduler import Simulator
+from repro.congest.transport import BandwidthPolicy
+from repro.core.protocol import ProtocolConfig, make_protocol_factory
+from repro.lowerbound.construction import instance_to_graph
+from repro.lowerbound.disjointness import random_instance
+from repro.lowerbound.twoparty import analyze_cut_traffic
+from repro.lowerbound.verify import (
+    lemma5_profile,
+    lemma6_profile,
+    probe_betweenness,
+)
+
+
+def main() -> None:
+    print("Lemma 5 (Fig. 3): b_P by the rail T_1 attaches to")
+    for rail, value in lemma5_profile(m=4).items():
+        marker = "  <- matches S_1's rail (minimum)" if rail == 0 else ""
+        print(f"  rail {rail}: b_P = {value:.6f}{marker}")
+
+    print("\nLemma 6 (Fig. 5): b_P by the rail the new S_2 attaches to")
+    for rail, value in lemma6_profile(m=4).items():
+        marker = "  <- already-used rail (minimum)" if rail == 0 else ""
+        print(f"  rail {rail}: b_P = {value:.6f}{marker}")
+
+    print("\nFull construction from a DISJ instance:")
+    instance = random_instance(3, seed=5)
+    construction = instance_to_graph(instance)
+    graph = construction.graph
+    print(
+        f"  N={instance.n} values/side, M={construction.m} rails, "
+        f"graph n={graph.num_nodes}, m={graph.num_edges}"
+    )
+    print(f"  values disjoint: {instance.is_disjoint()}")
+    print(f"  exact b_P = {probe_betweenness(construction):.6f}")
+    cut = construction.cut_edges()
+    print(
+        f"  Alice/Bob cut: {len(cut)} edges "
+        f"(paper claims c_k = M = {construction.m}; as built it is "
+        f"M + N + 1 because P touches both sides)"
+    )
+
+    print("\nRunning the distributed protocol with message recording...")
+    config = ProtocolConfig(length=2 * graph.num_nodes, walks_per_source=6)
+    policy = BandwidthPolicy(n=graph.num_nodes, messages_per_edge=4)
+    result = Simulator(
+        graph,
+        make_protocol_factory(config),
+        policy=policy,
+        seed=5,
+        record_messages=True,
+    ).run()
+    analysis = analyze_cut_traffic(result, construction, policy)
+    print(
+        f"  rounds: {analysis.rounds}\n"
+        f"  bits crossing the cut: {analysis.bits_crossed}\n"
+        f"  Theorem 7 channel capacity (rounds * 2 * c_k * B): "
+        f"{analysis.channel_capacity_bits}\n"
+        f"  inequality holds: {analysis.simulation_inequality_holds}\n"
+        f"  DISJ input size: {instance.input_bits()} bits -> implied "
+        f"exact-problem round bound: "
+        f"{analysis.implied_round_lower_bound(instance.input_bits()):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The paper's Figure 1, reproduced numerically.
+
+Two dense groups are connected by a short bridge (A - B) and a longer
+detour (C1 - C2 - C3).  Shortest-path betweenness sees only the bridge;
+random walk betweenness also credits the detour - the paper's motivation
+for the random-walk measure.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro import rwbc_exact
+from repro.baselines.brandes import shortest_path_betweenness
+from repro.graphs.generators import fig1_graph, fig1_node_roles
+
+
+def main() -> None:
+    group_size = 5
+    graph = fig1_graph(group_size=group_size)
+    roles = fig1_node_roles(group_size=group_size)
+
+    spbc = shortest_path_betweenness(graph)
+    rwbc = rwbc_exact(graph)
+
+    print("Figure 1 reproduction (group size = 5, n = 15)\n")
+    print(f"{'role':>6}  {'node':>4}  {'SPBC':>8}  {'RWBC':>8}")
+    for label in ("A", "B", "C1", "C", "C3", "left", "right"):
+        node = roles[label]
+        print(
+            f"{label:>6}  {node:>4}  {spbc[node]:>8.4f}  {rwbc[node]:>8.4f}"
+        )
+
+    a, c = roles["A"], roles["C"]
+    print(
+        f"\nC relative to the bridge A:"
+        f"\n  shortest paths: C scores {spbc[c] / spbc[a]:.1%} of A"
+        f"\n  random walks:   C scores {rwbc[c] / rwbc[a]:.1%} of A"
+    )
+    print(
+        "\nThe detour node C is nearly invisible to shortest paths but "
+        "carries real random-walk flow - exactly the paper's argument "
+        "for the random walk betweenness measure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Centrality analysis of real social networks (bundled datasets).
+
+Runs the full measure suite on Zachary's karate club and Padgett's
+Florentine families - two networks whose "correct answers" are known from
+the sociology literature: the karate club's split followed its two
+leaders (nodes 0 and 33), and the Medici's political dominance is the
+textbook consequence of their brokerage position.
+
+Run:  python examples/real_world_analysis.py
+"""
+
+from repro import WalkParameters, estimate_rwbc_distributed, rwbc_exact
+from repro.baselines.brandes import shortest_path_betweenness
+from repro.baselines.pagerank import pagerank_power_iteration
+from repro.graphs.datasets import florentine_families, karate_club
+
+
+def show_ranking(title, values, top=5):
+    ranked = sorted(values, key=lambda v: -values[v])[:top]
+    print(f"  {title:<18} " + ", ".join(f"{v}({values[v]:.3f})" for v in ranked))
+
+
+def analyze_karate() -> None:
+    graph = karate_club()
+    print(f"Zachary's karate club: n={graph.num_nodes}, m={graph.num_edges}")
+
+    exact = rwbc_exact(graph)
+    result = estimate_rwbc_distributed(
+        graph, WalkParameters(length=150, walks_per_source=120), seed=0
+    )
+    spbc = shortest_path_betweenness(graph)
+    pagerank = pagerank_power_iteration(graph)
+
+    show_ranking("exact RWBC", exact)
+    show_ranking("distributed RWBC", result.betweenness)
+    show_ranking("shortest-path BC", spbc)
+    show_ranking("pagerank", pagerank)
+
+    top2 = set(sorted(exact, key=lambda v: -exact[v])[:2])
+    print(
+        f"  -> the two club leaders {sorted(top2)} top the RWBC ranking "
+        f"(the split followed them in 1977)"
+    )
+    est_top2 = set(
+        sorted(result.betweenness, key=lambda v: -result.betweenness[v])[:2]
+    )
+    print(
+        f"  -> distributed estimate found the same leaders: "
+        f"{est_top2 == top2} ({result.total_rounds} rounds, "
+        f"{result.metrics.total_messages} messages)"
+    )
+
+
+def analyze_florentine() -> None:
+    graph = florentine_families()
+    print(
+        f"\nFlorentine families: n={graph.num_nodes}, m={graph.num_edges}"
+    )
+    exact = rwbc_exact(graph)
+    spbc = shortest_path_betweenness(graph)
+    show_ranking("exact RWBC", exact, top=4)
+    show_ranking("shortest-path BC", spbc, top=4)
+    best = max(exact, key=exact.get)
+    print(f"  -> {best} hold the brokerage position, as history records")
+
+
+def main() -> None:
+    analyze_karate()
+    analyze_florentine()
+
+
+if __name__ == "__main__":
+    main()

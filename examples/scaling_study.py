@@ -1,0 +1,57 @@
+"""Round-complexity scaling study (Theorem 5 hands-on).
+
+Runs the full distributed protocol across a range of sizes with the
+paper's parameter schedules (l = 3n, K = 2 log2 n) and reports per-phase
+round counts plus the fitted n-log-n coefficient.
+
+Run:  python examples/scaling_study.py
+"""
+
+import math
+
+from repro import WalkParameters, estimate_rwbc_distributed
+from repro.analysis.fitting import fit_nlogn, fit_power_law
+from repro.graphs.generators import erdos_renyi_graph
+
+
+def main() -> None:
+    sizes = (12, 16, 24, 32, 48, 64)
+    print(
+        f"{'n':>4} {'m':>5} {'K':>3} {'l':>5} {'setup':>6} "
+        f"{'count':>6} {'xchg':>5} {'total':>6} {'bits/edge':>9}"
+    )
+    ns, totals = [], []
+    for n in sizes:
+        graph = erdos_renyi_graph(
+            n, max(0.12, 3.0 / n * math.log2(n)), seed=n, ensure_connected=True
+        )
+        params = WalkParameters(
+            length=3 * n, walks_per_source=max(4, int(2 * math.log2(n)))
+        )
+        result = estimate_rwbc_distributed(graph, params, seed=n)
+        phases = result.phase_rounds
+        print(
+            f"{n:>4} {graph.num_edges:>5} {params.walks_per_source:>3} "
+            f"{params.length:>5} {phases['setup']:>6} "
+            f"{phases['counting']:>6} {phases['exchange']:>5} "
+            f"{result.total_rounds:>6} "
+            f"{result.metrics.max_bits_per_edge_round:>9}"
+        )
+        ns.append(n)
+        totals.append(result.total_rounds)
+
+    nlogn = fit_nlogn(ns, totals)
+    power = fit_power_law(ns, totals)
+    print(
+        f"\nfit: rounds ~ {nlogn.coefficient:.2f} * n log2 n "
+        f"(max residual {nlogn.max_relative_residual:.1%}); "
+        f"free exponent {power.exponent:.2f}"
+    )
+    print(
+        "Theorem 5 predicts O(n log n); the free-exponent fit close to 1 "
+        "confirms the shape (log factors are invisible at these sizes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

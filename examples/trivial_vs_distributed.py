@@ -1,0 +1,61 @@
+"""The paper's strawman, taken seriously: collect-all vs the protocol.
+
+Section I dismisses the trivial algorithm (ship the topology to one
+node, solve locally) as needing O(m) rounds.  With both algorithms
+actually implemented, the picture is sharper: collection pipelines over
+parallel tree links, so the trivial approach is excellent on
+well-connected graphs - and collapses exactly where the paper's
+lower-bound intuition lives: on networks with a bandwidth bottleneck.
+
+Run:  python examples/trivial_vs_distributed.py
+"""
+
+import math
+
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.core.trivial import trivial_collect_all
+from repro.graphs.generators import barbell_graph, erdos_renyi_graph
+
+
+def compare(label, graph, seed=9):
+    n = graph.num_nodes
+    params = WalkParameters(
+        length=2 * n, walks_per_source=max(4, int(2 * math.log2(n)))
+    )
+    trivial = trivial_collect_all(graph, seed=seed)
+    distributed = estimate_rwbc_distributed(graph, params, seed=seed)
+    winner = (
+        "distributed"
+        if distributed.total_rounds < trivial.rounds
+        else "trivial"
+    )
+    print(
+        f"{label:>14}  n={n:>3} m={graph.num_edges:>4}  "
+        f"trivial={trivial.rounds:>4} rounds (exact)  "
+        f"distributed={distributed.total_rounds:>4} rounds (approx)  "
+        f"-> {winner}"
+    )
+
+
+def main() -> None:
+    print("well-connected (ER): collection parallelizes, trivial wins\n")
+    for p in (0.2, 0.6, 0.95):
+        compare(f"ER p={p}", erdos_renyi_graph(24, p, seed=9, ensure_connected=True))
+
+    print(
+        "\nbottlenecked (barbell: one bridge carries half the edges): "
+        "trivial pays Theta(m), the protocol wins past the crossover\n"
+    )
+    for clique in (8, 12, 16, 20):
+        compare(f"barbell c={clique}", barbell_graph(clique, 1))
+
+    print(
+        "\n(The distributed algorithm also avoids Theta(n^2) state and "
+        "O(n^3) computation at any single node - advantages rounds "
+        "alone do not show.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro: distributed random walk betweenness centrality.
+
+A full reproduction of Hua, Ai, Jin, Yu, Shi, *"Distributively Computing
+Random Walk Betweenness Centrality in Linear Time"* (ICDCS 2017):
+
+* a CONGEST-model simulator (:mod:`repro.congest`),
+* the paper's distributed approximation algorithm
+  (:func:`estimate_rwbc_distributed`),
+* exact and Monte-Carlo reference engines (:func:`rwbc_exact`,
+  :func:`estimate_rwbc_montecarlo`),
+* every comparator from the related-work section
+  (:mod:`repro.baselines`),
+* the section VIII lower-bound construction and its verification
+  (:mod:`repro.lowerbound`).
+
+Quickstart::
+
+    from repro import estimate_rwbc_distributed, rwbc_exact
+    from repro.graphs import erdos_renyi_graph
+
+    graph = erdos_renyi_graph(50, 0.15, seed=1, ensure_connected=True)
+    exact = rwbc_exact(graph)
+    result = estimate_rwbc_distributed(graph, seed=1)
+    print(result.betweenness, result.total_rounds)
+"""
+
+from repro.core import (
+    DistributedRWBCResult,
+    MonteCarloResult,
+    TransportPolicy,
+    WalkParameters,
+    default_parameters,
+    estimate_rwbc_distributed,
+    estimate_rwbc_montecarlo,
+    rwbc_exact,
+    rwbc_exact_pairs,
+)
+from repro.graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributedRWBCResult",
+    "Graph",
+    "MonteCarloResult",
+    "TransportPolicy",
+    "WalkParameters",
+    "__version__",
+    "default_parameters",
+    "estimate_rwbc_distributed",
+    "estimate_rwbc_montecarlo",
+    "rwbc_exact",
+    "rwbc_exact_pairs",
+]

@@ -1,0 +1,43 @@
+"""Experiment support: error metrics, rank agreement, scaling fits."""
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    seeds_needed_for_width,
+)
+from repro.analysis.error import (
+    ErrorSummary,
+    compare_centrality,
+    max_absolute_error,
+    max_relative_error,
+    mean_absolute_error,
+    mean_relative_error,
+)
+from repro.analysis.fitting import (
+    PowerLawFit,
+    fit_nlogn,
+    fit_power_law,
+)
+from repro.analysis.ranking import (
+    kendall_tau,
+    spearman_rho,
+    top_k_overlap,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "ErrorSummary",
+    "PowerLawFit",
+    "bootstrap_mean_ci",
+    "seeds_needed_for_width",
+    "compare_centrality",
+    "fit_nlogn",
+    "fit_power_law",
+    "kendall_tau",
+    "max_absolute_error",
+    "max_relative_error",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "spearman_rho",
+    "top_k_overlap",
+]

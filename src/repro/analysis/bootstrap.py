@@ -1,0 +1,85 @@
+"""Bootstrap confidence intervals for experiment summaries.
+
+Experiment rows report means over a handful of seeds; bootstrap
+percentile intervals say how much those means can be trusted without
+distributional assumptions - exactly right for the skewed error
+distributions heavy-tailed workloads produce (E18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile bootstrap interval around a point estimate."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_mean_ci(
+    samples,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int | None = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI for the mean of ``samples``.
+
+    Raises
+    ------
+    GraphError
+        On empty samples or a nonsensical confidence level.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise GraphError("bootstrap needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise GraphError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise GraphError("resamples must be >= 10")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        point=float(values.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def seeds_needed_for_width(
+    samples,
+    target_width: float,
+    confidence: float = 0.95,
+    seed: int | None = None,
+) -> int:
+    """Rough extrapolation: how many seeds until the CI is this tight?
+
+    Uses the ``width ~ 1/sqrt(k)`` scaling of the bootstrap interval.
+    """
+    if target_width <= 0:
+        raise GraphError("target_width must be positive")
+    interval = bootstrap_mean_ci(samples, confidence=confidence, seed=seed)
+    if interval.width <= target_width:
+        return len(list(samples))
+    k = len(list(samples))
+    ratio = interval.width / target_width
+    return int(np.ceil(k * ratio**2))

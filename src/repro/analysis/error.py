@@ -1,0 +1,82 @@
+"""Approximation-error metrics between centrality dictionaries.
+
+The paper's accuracy statements are multiplicative (``(1 - epsilon)``
+approximation ratio, Theorems 1-2), so relative errors are the primary
+metric; absolute errors are reported alongside because relative error
+explodes on near-zero values (networkx-convention leaves, for instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import GraphError
+
+
+def _aligned(estimate: dict, exact: dict) -> tuple[np.ndarray, np.ndarray]:
+    if set(estimate) != set(exact):
+        raise GraphError("estimate and exact cover different node sets")
+    if not exact:
+        raise GraphError("empty centrality dictionaries")
+    keys = sorted(exact, key=repr)
+    return (
+        np.array([estimate[k] for k in keys], dtype=float),
+        np.array([exact[k] for k in keys], dtype=float),
+    )
+
+
+def max_absolute_error(estimate: dict, exact: dict) -> float:
+    est, ref = _aligned(estimate, exact)
+    return float(np.abs(est - ref).max())
+
+
+def mean_absolute_error(estimate: dict, exact: dict) -> float:
+    est, ref = _aligned(estimate, exact)
+    return float(np.abs(est - ref).mean())
+
+
+def max_relative_error(estimate: dict, exact: dict) -> float:
+    """Max of |est - ref| / ref over nodes with nonzero reference."""
+    est, ref = _aligned(estimate, exact)
+    mask = ref != 0
+    if not mask.any():
+        raise GraphError("all reference values are zero")
+    return float((np.abs(est - ref)[mask] / ref[mask]).max())
+
+
+def mean_relative_error(estimate: dict, exact: dict) -> float:
+    est, ref = _aligned(estimate, exact)
+    mask = ref != 0
+    if not mask.any():
+        raise GraphError("all reference values are zero")
+    return float((np.abs(est - ref)[mask] / ref[mask]).mean())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All four error metrics in one record (one experiment-table row)."""
+
+    max_absolute: float
+    mean_absolute: float
+    max_relative: float
+    mean_relative: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "max_abs": self.max_absolute,
+            "mean_abs": self.mean_absolute,
+            "max_rel": self.max_relative,
+            "mean_rel": self.mean_relative,
+        }
+
+
+def compare_centrality(estimate: dict, exact: dict) -> ErrorSummary:
+    """Bundle the four standard error metrics."""
+    return ErrorSummary(
+        max_absolute=max_absolute_error(estimate, exact),
+        mean_absolute=mean_absolute_error(estimate, exact),
+        max_relative=max_relative_error(estimate, exact),
+        mean_relative=mean_relative_error(estimate, exact),
+    )

@@ -1,0 +1,82 @@
+"""Empirical complexity fits for the scaling experiments (E6).
+
+``fit_power_law`` estimates the exponent of ``y ~ c * x^p`` by
+least-squares in log space; ``fit_nlogn`` checks how well measured round
+counts track the paper's ``n log n`` prediction by fitting the
+coefficient and reporting the residual quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ coefficient * x ** exponent`` with an R^2 quality score."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def _validate(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise GraphError("xs and ys must be 1-D arrays of equal length")
+    if len(xs) < 2:
+        raise GraphError("need at least 2 points to fit")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise GraphError("power-law fits need strictly positive data")
+    return xs, ys
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Least-squares fit of ``log y = p log x + log c``."""
+    xs, ys = _validate(xs, ys)
+    log_x = np.log(xs)
+    log_y = np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - log_y.mean()) ** 2)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=float(r_squared),
+    )
+
+
+@dataclass(frozen=True)
+class NLogNFit:
+    """``y ~ coefficient * x log2 x`` with relative residuals."""
+
+    coefficient: float
+    max_relative_residual: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x * np.log2(max(2.0, x))
+
+
+def fit_nlogn(xs, ys) -> NLogNFit:
+    """Best single coefficient for ``y = c * x log2 x`` and its fit
+    quality (max relative residual; small = the model explains the
+    data)."""
+    xs, ys = _validate(xs, ys)
+    basis = xs * np.log2(np.maximum(2.0, xs))
+    coefficient = float(np.dot(basis, ys) / np.dot(basis, basis))
+    predicted = coefficient * basis
+    residuals = np.abs(predicted - ys) / ys
+    return NLogNFit(
+        coefficient=coefficient,
+        max_relative_residual=float(residuals.max()),
+    )

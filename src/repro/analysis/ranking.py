@@ -1,0 +1,51 @@
+"""Rank-agreement metrics between centrality measures.
+
+Centrality users mostly care about orderings ("who are the top-k
+brokers"), so experiments E1 and E11 report rank correlations next to
+value errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.graphs.graph import GraphError
+
+
+def _aligned(a: dict, b: dict) -> tuple[np.ndarray, np.ndarray]:
+    if set(a) != set(b):
+        raise GraphError("dictionaries cover different node sets")
+    if len(a) < 2:
+        raise GraphError("need at least 2 nodes to rank")
+    keys = sorted(a, key=repr)
+    return (
+        np.array([a[k] for k in keys], dtype=float),
+        np.array([b[k] for k in keys], dtype=float),
+    )
+
+
+def kendall_tau(a: dict, b: dict) -> float:
+    """Kendall's tau-b between two centrality assignments."""
+    left, right = _aligned(a, b)
+    tau = stats.kendalltau(left, right).statistic
+    return float(tau) if not np.isnan(tau) else 0.0
+
+
+def spearman_rho(a: dict, b: dict) -> float:
+    """Spearman rank correlation between two centrality assignments."""
+    left, right = _aligned(a, b)
+    rho = stats.spearmanr(left, right).statistic
+    return float(rho) if not np.isnan(rho) else 0.0
+
+
+def top_k_overlap(a: dict, b: dict, k: int) -> float:
+    """|top-k(a) cap top-k(b)| / k - the "did we find the same brokers"
+    metric.  Ties are broken by node repr for determinism."""
+    if set(a) != set(b):
+        raise GraphError("dictionaries cover different node sets")
+    if not 1 <= k <= len(a):
+        raise GraphError(f"k must be in 1..{len(a)}")
+    top_a = set(sorted(a, key=lambda v: (-a[v], repr(v)))[:k])
+    top_b = set(sorted(b, key=lambda v: (-b[v], repr(v)))[:k])
+    return len(top_a & top_b) / k

@@ -1,0 +1,36 @@
+"""Every comparator measure the paper discusses (sections I-II).
+
+* :mod:`brandes` - exact shortest-path betweenness (the Fig. 1 contrast).
+* :mod:`maxflow` + :mod:`flow_betweenness` - Freeman's network-flow
+  betweenness on top of our own Edmonds-Karp max-flow.
+* :mod:`pagerank` - power iteration, Monte-Carlo, and a distributed
+  CONGEST version (Das Sarma et al. style).
+* :mod:`alpha_cfbc` - Avrachenkov et al.'s alpha-current-flow betweenness.
+* :mod:`networkx_oracle` - convention-matched external validation.
+"""
+
+from repro.baselines.alpha_cfbc import alpha_current_flow_betweenness
+from repro.baselines.approx_spbc import approximate_shortest_path_betweenness
+from repro.baselines.brandes import shortest_path_betweenness
+from repro.baselines.flow_betweenness import flow_betweenness
+from repro.baselines.maxflow import max_flow
+from repro.baselines.networkx_oracle import (
+    networkx_rwbc,
+    newman_rwbc_via_networkx,
+)
+from repro.baselines.pagerank import (
+    pagerank_montecarlo,
+    pagerank_power_iteration,
+)
+
+__all__ = [
+    "alpha_current_flow_betweenness",
+    "approximate_shortest_path_betweenness",
+    "flow_betweenness",
+    "max_flow",
+    "networkx_rwbc",
+    "newman_rwbc_via_networkx",
+    "pagerank_montecarlo",
+    "pagerank_power_iteration",
+    "shortest_path_betweenness",
+]

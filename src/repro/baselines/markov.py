@@ -1,0 +1,41 @@
+"""Markov (random-walk closeness) centrality.
+
+One more member of the random-walk measure family the paper situates
+itself in: a node is central if random walks reach it *quickly* from
+everywhere - the reciprocal of its mean hitting time.  Computed exactly
+from the same absorbing-chain machinery as the core solvers (the column
+sums of the expected-visits matrix are hitting times), so it doubles as
+another internal consistency check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError, NodeId
+from repro.graphs.properties import is_connected
+from repro.walks.absorbing import expected_visits
+
+
+def mean_hitting_times(graph: Graph) -> dict[NodeId, float]:
+    """``node -> mean over sources s != node of H(s -> node)``."""
+    if graph.num_nodes < 2:
+        raise GraphError("hitting times need >= 2 nodes")
+    if not is_connected(graph):
+        raise GraphError("hitting times require a connected graph")
+    n = graph.num_nodes
+    order = graph.canonical_order()
+    result: dict[NodeId, float] = {}
+    for node in order:
+        visits = expected_visits(graph, node)
+        # H(s -> node) = total expected visits anywhere before absorption.
+        hitting = visits.sum(axis=0)
+        others = [s for s in range(n) if s != graph.index_of(node)]
+        result[node] = float(hitting[others].mean())
+    return result
+
+
+def markov_centrality(graph: Graph) -> dict[NodeId, float]:
+    """``(n - 1) / sum_s H(s -> node)`` - higher is more central."""
+    times = mean_hitting_times(graph)
+    return {node: 1.0 / value for node, value in times.items()}

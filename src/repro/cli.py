@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``exact``     exact RWBC of every node (Newman's matrix method)
+``estimate``  Monte-Carlo or full distributed estimation
+``compare``   all centrality measures side by side
+``diameter``  distributed diameter via pipelined APSP
+``info``      available graph families and datasets
+
+Every command takes one graph source: ``--family NAME --n N`` (synthetic,
+see ``info``), ``--dataset NAME`` (bundled real networks), or
+``--edge-list PATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graphs.graph import Graph, GraphError
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("graph source (choose one)")
+    source.add_argument("--family", help="synthetic family (see 'info')")
+    source.add_argument("--n", type=int, default=30, help="size for --family")
+    source.add_argument(
+        "--graph-seed", type=int, default=0, help="seed for --family"
+    )
+    source.add_argument("--dataset", help="bundled dataset (see 'info')")
+    source.add_argument("--edge-list", help="path to an edge-list file")
+
+
+def _resolve_graph(args: argparse.Namespace) -> Graph:
+    chosen = [
+        name
+        for name, value in (
+            ("--family", args.family),
+            ("--dataset", args.dataset),
+            ("--edge-list", args.edge_list),
+        )
+        if value
+    ]
+    if len(chosen) != 1:
+        raise GraphError(
+            f"choose exactly one graph source, got {chosen or 'none'}"
+        )
+    if args.family:
+        from repro.experiments.workloads import make_workload
+
+        return make_workload(args.family, args.n, seed=args.graph_seed).graph
+    if args.dataset:
+        from repro.graphs.datasets import load_dataset
+
+        return load_dataset(args.dataset)
+    from repro.graphs.io import read_edge_list
+
+    return read_edge_list(args.edge_list)
+
+
+def _print_centrality(values: dict, top: int | None) -> None:
+    ranked = sorted(values.items(), key=lambda item: -item[1])
+    if top is not None:
+        ranked = ranked[:top]
+    width = max(len(str(node)) for node, _ in ranked)
+    for node, value in ranked:
+        print(f"{str(node):>{width}}  {value:.6f}")
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from repro.core.exact import rwbc_exact
+
+    graph = _resolve_graph(args)
+    values = rwbc_exact(graph, include_endpoints=not args.no_endpoints)
+    print(f"# exact RWBC, n={graph.num_nodes} m={graph.num_edges}")
+    _print_centrality(values, args.top)
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.estimator import (
+        estimate_rwbc_distributed,
+        estimate_rwbc_montecarlo,
+    )
+    from repro.core.parameters import WalkParameters, default_parameters
+    from repro.core.walk_manager import TransportPolicy
+
+    graph = _resolve_graph(args)
+    if args.length and args.walks:
+        parameters = WalkParameters(args.length, args.walks)
+    else:
+        parameters = default_parameters(graph.num_nodes)
+    if args.engine == "montecarlo":
+        result = estimate_rwbc_montecarlo(graph, parameters, seed=args.seed)
+        print(
+            f"# montecarlo RWBC, n={graph.num_nodes} l={parameters.length} "
+            f"K={parameters.walks_per_source} "
+            f"survival={result.survival_fraction:.4f}"
+        )
+        _print_centrality(result.betweenness, args.top)
+    else:
+        result = estimate_rwbc_distributed(
+            graph,
+            parameters,
+            seed=args.seed,
+            policy=TransportPolicy(args.policy),
+        )
+        print(
+            f"# distributed RWBC, n={graph.num_nodes} "
+            f"l={parameters.length} K={parameters.walks_per_source} "
+            f"rounds={result.total_rounds} phases={result.phase_rounds} "
+            f"target={result.target}"
+        )
+        _print_centrality(result.betweenness, args.top)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.brandes import shortest_path_betweenness
+    from repro.baselines.pagerank import pagerank_power_iteration
+    from repro.baselines.alpha_cfbc import alpha_current_flow_betweenness
+    from repro.core.exact import rwbc_exact
+    from repro.experiments.report import format_table
+
+    graph = _resolve_graph(args)
+    rwbc = rwbc_exact(graph)
+    spbc = shortest_path_betweenness(graph)
+    pagerank = pagerank_power_iteration(graph)
+    alpha = alpha_current_flow_betweenness(graph, alpha=0.9)
+    nodes = sorted(graph.nodes(), key=lambda v: -rwbc[v])
+    if args.top is not None:
+        nodes = nodes[: args.top]
+    records = [
+        {
+            "node": str(node),
+            "rwbc": rwbc[node],
+            "spbc": spbc[node],
+            "pagerank": pagerank[node],
+            "alpha_cfbc(0.9)": alpha[node],
+        }
+        for node in nodes
+    ]
+    print(f"# measures, n={graph.num_nodes} m={graph.num_edges}")
+    print(format_table(records))
+    return 0
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    from repro.congest.primitives.apsp import distributed_diameter
+
+    graph = _resolve_graph(args)
+    diameter, rounds = distributed_diameter(graph, seed=args.seed)
+    print(
+        f"n={graph.num_nodes} m={graph.num_edges} "
+        f"diameter={diameter} rounds={rounds}"
+    )
+    return 0
+
+
+def _cmd_edges(args: argparse.Namespace) -> int:
+    from repro.core.edge_betweenness import edge_current_flow_betweenness
+
+    graph = _resolve_graph(args)
+    values = edge_current_flow_betweenness(graph)
+    ranked = sorted(values.items(), key=lambda item: -item[1])
+    if args.top is not None:
+        ranked = ranked[: args.top]
+    print(f"# edge current-flow betweenness, n={graph.num_nodes}")
+    for (u, v), value in ranked:
+        print(f"{u} -- {v}  {value:.6f}")
+    return 0
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    from repro.core.edge_betweenness import girvan_newman_current_flow
+
+    graph = _resolve_graph(args)
+    parts = girvan_newman_current_flow(graph, communities=args.k)
+    print(
+        f"# {len(parts)} communities via current-flow Girvan-Newman, "
+        f"n={graph.num_nodes}"
+    )
+    for index, part in enumerate(parts):
+        members = " ".join(str(node) for node in sorted(part, key=repr))
+        print(f"community {index} (size {len(part)}): {members}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.experiments.workloads import FAMILIES
+    from repro.graphs.datasets import DATASETS
+
+    print("synthetic families (--family):")
+    for family in FAMILIES:
+        print(f"  {family}")
+    print("bundled datasets (--dataset):")
+    for name in sorted(DATASETS):
+        graph = DATASETS[name]()
+        print(f"  {name}  (n={graph.num_nodes}, m={graph.num_edges})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed random walk betweenness centrality",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    exact = commands.add_parser("exact", help="exact RWBC")
+    _add_graph_arguments(exact)
+    exact.add_argument("--top", type=int, help="only the top-k nodes")
+    exact.add_argument(
+        "--no-endpoints",
+        action="store_true",
+        help="networkx convention (exclude endpoint pairs)",
+    )
+    exact.set_defaults(handler=_cmd_exact)
+
+    estimate = commands.add_parser("estimate", help="estimate RWBC")
+    _add_graph_arguments(estimate)
+    estimate.add_argument(
+        "--engine",
+        choices=("distributed", "montecarlo"),
+        default="distributed",
+    )
+    estimate.add_argument("--length", type=int, help="walk length l")
+    estimate.add_argument("--walks", type=int, help="walks per source K")
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument(
+        "--policy", choices=("queue", "batch"), default="queue"
+    )
+    estimate.add_argument("--top", type=int)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    compare = commands.add_parser("compare", help="measure landscape")
+    _add_graph_arguments(compare)
+    compare.add_argument("--top", type=int)
+    compare.set_defaults(handler=_cmd_compare)
+
+    diameter = commands.add_parser("diameter", help="distributed diameter")
+    _add_graph_arguments(diameter)
+    diameter.add_argument("--seed", type=int, default=0)
+    diameter.set_defaults(handler=_cmd_diameter)
+
+    edges = commands.add_parser("edges", help="edge current-flow betweenness")
+    _add_graph_arguments(edges)
+    edges.add_argument("--top", type=int)
+    edges.set_defaults(handler=_cmd_edges)
+
+    communities = commands.add_parser(
+        "communities", help="current-flow Girvan-Newman split"
+    )
+    _add_graph_arguments(communities)
+    communities.add_argument(
+        "--k", type=int, default=2, help="number of communities"
+    )
+    communities.set_defaults(handler=_cmd_communities)
+
+    info = commands.add_parser("info", help="list families and datasets")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except GraphError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the CONGEST simulator."""
+
+from __future__ import annotations
+
+
+class SimulatorError(RuntimeError):
+    """Base class for all simulator failures."""
+
+
+class ConfigError(SimulatorError):
+    """Invalid simulator configuration."""
+
+
+class CongestViolation(SimulatorError):
+    """A node program exceeded the CONGEST bandwidth constraints.
+
+    Raised when a single message is wider than the per-message bit budget,
+    or when a node sends more messages over one edge in one round than the
+    configured per-edge capacity.  This is a *program* bug by definition:
+    CONGEST algorithms must be written to respect the model.
+    """
+
+
+class RoundLimitExceeded(SimulatorError):
+    """The simulation did not terminate within ``max_rounds``."""
+
+
+class ProtocolError(SimulatorError):
+    """A node program reached an inconsistent internal state."""

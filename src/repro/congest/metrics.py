@@ -1,0 +1,90 @@
+"""Round/message/bit accounting for simulated runs.
+
+These counters are the experimental observables of the reproduction: the
+paper's Theorems 4 and 5 are statements about exactly these quantities
+(bits per edge per round, total rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.congest.message import Message
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated statistics for one simulation run.
+
+    All "edge" quantities are per *directed* edge (the model's bandwidth is
+    per direction).
+    """
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_messages_per_edge_round: int = 0
+    max_bits_per_edge_round: int = 0
+    max_message_bits: int = 0
+    messages_per_round: list[int] = field(default_factory=list)
+    bits_per_round: list[int] = field(default_factory=list)
+    phase_rounds: dict[str, int] = field(default_factory=dict)
+
+    def record_round(self, messages: list[Message]) -> None:
+        """Fold one round's delivered messages into the totals."""
+        self.rounds += 1
+        round_bits = 0
+        edge_messages: dict[tuple[int, int], int] = {}
+        edge_bits: dict[tuple[int, int], int] = {}
+        for message in messages:
+            edge = (message.sender, message.receiver)
+            edge_messages[edge] = edge_messages.get(edge, 0) + 1
+            edge_bits[edge] = edge_bits.get(edge, 0) + message.bits
+            round_bits += message.bits
+            if message.bits > self.max_message_bits:
+                self.max_message_bits = message.bits
+        if edge_messages:
+            self.max_messages_per_edge_round = max(
+                self.max_messages_per_edge_round, max(edge_messages.values())
+            )
+            self.max_bits_per_edge_round = max(
+                self.max_bits_per_edge_round, max(edge_bits.values())
+            )
+        self.total_messages += len(messages)
+        self.total_bits += round_bits
+        self.messages_per_round.append(len(messages))
+        self.bits_per_round.append(round_bits)
+
+    def mark_phase(self, name: str) -> None:
+        """Attribute all rounds since the previous mark to phase ``name``."""
+        already = sum(self.phase_rounds.values())
+        self.phase_rounds[name] = self.rounds - already
+
+    def bits_crossing_cut(
+        self, messages_log: list[list[Message]], cut_nodes: set[int]
+    ) -> int:
+        """Total bits on edges with exactly one endpoint in ``cut_nodes``.
+
+        Requires the full message log (``Simulator(record_messages=True)``).
+        This is the quantity the lower-bound simulation argument
+        (Theorem 7) charges to the two-party protocol.
+        """
+        total = 0
+        for round_messages in messages_log:
+            for message in round_messages:
+                if (message.sender in cut_nodes) != (
+                    message.receiver in cut_nodes
+                ):
+                    total += message.bits
+        return total
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers for reports."""
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_messages_per_edge_round": self.max_messages_per_edge_round,
+            "max_bits_per_edge_round": self.max_bits_per_edge_round,
+            "max_message_bits": self.max_message_bits,
+        }

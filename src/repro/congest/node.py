@@ -1,0 +1,153 @@
+"""The node-program API: what one CONGEST node can see and do.
+
+A distributed algorithm is expressed as a :class:`NodeProgram` subclass.
+The simulator instantiates one program per node and drives the synchronous
+round structure; the program only ever sees its own identifier, its
+neighborhood, and the messages delivered to it.  Global knowledge (``n``
+for this paper's algorithm, per its Algorithm 1 input line) is passed
+explicitly through :class:`NodeInfo` so that what each node "knows" is
+auditable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.congest.transport import RoundOutbox
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Static knowledge available to one node.
+
+    Attributes
+    ----------
+    node_id:
+        This node's unique ``O(log n)``-bit identifier (an int).
+    neighbors:
+        Sorted tuple of neighbor identifiers (the local ports).
+    n:
+        Number of nodes in the network.  The paper's Algorithm 1 takes
+        ``n`` as input, so it is part of each node's initial knowledge.
+    """
+
+    node_id: int
+    neighbors: tuple[int, ...]
+    n: int
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class RoundContext:
+    """Per-round capability handle passed to :meth:`NodeProgram.on_round`.
+
+    Provides message sending (checked against the CONGEST limits by the
+    transport) and the current round number.
+    """
+
+    __slots__ = ("_node_id", "_neighbors", "_outbox", "round_number")
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        outbox: "RoundOutbox",
+        round_number: int,
+    ) -> None:
+        self._node_id = node_id
+        self._neighbors = frozenset(neighbors)
+        self._outbox = outbox
+        self.round_number = round_number
+
+    def send(self, neighbor: int, kind: str, *fields: int) -> None:
+        """Queue a message to ``neighbor`` for delivery next round.
+
+        Raises
+        ------
+        ProtocolError
+            If ``neighbor`` is not adjacent to this node.
+        CongestViolation
+            If the message or the edge's round budget exceeds the model
+            limits (raised by the transport).
+        """
+        if neighbor not in self._neighbors:
+            raise ProtocolError(
+                f"node {self._node_id} tried to send to non-neighbor "
+                f"{neighbor}"
+            )
+        message = Message(
+            sender=self._node_id,
+            receiver=neighbor,
+            kind=kind,
+            fields=tuple(fields),
+        )
+        self._outbox.push(message)
+
+    def broadcast(self, kind: str, *fields: int) -> None:
+        """Send the same message to every neighbor (one per edge)."""
+        for neighbor in sorted(self._neighbors):
+            self.send(neighbor, kind, *fields)
+
+
+class NodeProgram(abc.ABC):
+    """Base class for per-node distributed programs.
+
+    Lifecycle::
+
+        program = MyProgram(info, rng)     # framework constructs
+        program.on_start(ctx)              # round 0, no inbox
+        while not all halted:
+            program.on_round(ctx, inbox)   # rounds 1, 2, ...
+
+    A program signals local completion with :meth:`halt`; the simulation
+    stops when every program has halted and no messages are in flight.
+    A halted node's ``on_round`` is still invoked if messages arrive for
+    it (a real network cannot refuse delivery), which un-halts it.
+    """
+
+    def __init__(self, info: NodeInfo, rng: np.random.Generator) -> None:
+        self.info = info
+        self.rng = rng
+        self._halted = False
+
+    # -- framework hooks -------------------------------------------------
+    def on_start(self, ctx: RoundContext) -> None:
+        """Called once before the first communication round."""
+
+    @abc.abstractmethod
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """Called each round with the messages delivered this round."""
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.info.node_id
+
+    @property
+    def degree(self) -> int:
+        return self.info.degree
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        return self.info.neighbors
+
+    def halt(self) -> None:
+        """Mark this node locally done for termination accounting."""
+        self._halted = True
+
+    def unhalt(self) -> None:
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted

@@ -1,0 +1,35 @@
+"""Classic CONGEST building blocks used by the main protocol.
+
+The paper's Algorithm 1 starts with "randomly choose a target node t"
+without a mechanism.  These primitives supply one: every node draws a
+random rank, a flood-max wave elects the max-rank node as leader (a
+uniformly random node) while simultaneously growing a BFS tree from it;
+the tree then supports broadcast, aggregation, and the termination
+detection the counting phase needs.
+"""
+
+from repro.congest.primitives.apsp import (
+    APSPProgram,
+    distributed_apsp,
+    distributed_diameter,
+)
+from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+from repro.congest.primitives.bfs import BFSProgram
+from repro.congest.primitives.leader import LeaderElectionProgram
+from repro.congest.primitives.broadcast import TreeBroadcastProgram
+from repro.congest.primitives.convergecast import ConvergecastSumProgram
+from repro.congest.primitives.pushsum import PushSumProgram, gossip_average
+
+__all__ = [
+    "PushSumProgram",
+    "gossip_average",
+    "APSPProgram",
+    "FloodMaxBFS",
+    "FloodMaxState",
+    "BFSProgram",
+    "LeaderElectionProgram",
+    "TreeBroadcastProgram",
+    "ConvergecastSumProgram",
+    "distributed_apsp",
+    "distributed_diameter",
+]

@@ -1,0 +1,131 @@
+"""Pipelined all-pairs BFS and distributed diameter (CONGEST).
+
+The paper's Theorem 7 machinery descends from Frischknecht, Holzer and
+Wattenhofer's "networks cannot compute their diameter in sublinear time"
+(their reference [20]); the matching *upper* bound is the classic
+pipelined all-pairs BFS: run one BFS per source simultaneously, letting
+each edge forward at most one new (source, distance) pair per round.
+With FIFO queues this completes in ``O(n + D)`` rounds and each message
+is one ``(source, distance)`` pair of ``O(log n)`` bits.
+
+On top of APSP:
+
+* every node knows its eccentricity locally, so a convergecast max gives
+  the diameter in ``O(D)`` more rounds (here: read off the programs);
+* closeness centrality ``(n - 1) / sum of distances`` is a local division.
+
+This primitive both demonstrates the simulator at its most
+congestion-sensitive and provides the ``D`` every complexity statement in
+the paper is phrased with, computed distributively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.graphs.graph import Graph, GraphError
+
+KIND_APSP = "apsp"
+
+
+class APSPProgram(NodeProgram):
+    """One node of the pipelined all-pairs BFS.
+
+    Every node starts a BFS for itself (distance 0) and forwards each
+    *improved* (source, distance) pair to all neighbors, at most one
+    pair per edge per round (FIFO per edge).  Nodes halt when their
+    queues drain; arrival of a better pair un-halts them.
+
+    Outputs: ``distances`` (source -> hop count), and the derived
+    ``eccentricity`` / ``closeness`` properties.
+    """
+
+    def __init__(self, info: NodeInfo, rng: np.random.Generator) -> None:
+        super().__init__(info, rng)
+        self.distances: dict[int, int] = {info.node_id: 0}
+        # One FIFO of source ids pending announcement, per neighbor.
+        self._pending: dict[int, deque[int]] = {
+            neighbor: deque() for neighbor in info.neighbors
+        }
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._announce(self.node_id)
+        self._flush(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind != KIND_APSP:
+                continue
+            source, distance = message.fields
+            through = distance + 1
+            if source not in self.distances or through < self.distances[source]:
+                self.distances[source] = through
+                self._announce(source)
+        self._flush(ctx)
+
+    def _announce(self, source: int) -> None:
+        for queue in self._pending.values():
+            queue.append(source)
+
+    def _flush(self, ctx: RoundContext) -> None:
+        active = False
+        for neighbor, queue in self._pending.items():
+            if queue:
+                source = queue.popleft()
+                ctx.send(neighbor, KIND_APSP, source, self.distances[source])
+            if queue:
+                active = True
+        if not active:
+            self.halt()
+
+    # -- derived outputs -------------------------------------------------
+    @property
+    def eccentricity(self) -> int:
+        """Max distance seen; valid once the run has terminated."""
+        return max(self.distances.values())
+
+    @property
+    def closeness(self) -> float:
+        """``(n - 1) / sum of distances`` (0 if nothing was reached)."""
+        total = sum(self.distances.values())
+        return (self.info.n - 1) / total if total else 0.0
+
+
+def distributed_apsp(graph: Graph, seed: int | None = None):
+    """Run pipelined APSP; returns (distances dict-of-dicts, rounds).
+
+    Raises
+    ------
+    GraphError
+        If the graph is disconnected (BFS waves never cover it and the
+        distance tables would be partial).
+    """
+    from repro.congest.scheduler import run_program
+    from repro.graphs.properties import is_connected
+
+    if not is_connected(graph):
+        raise GraphError("distributed APSP requires a connected graph")
+    relabeled, mapping = graph.relabeled()
+    inverse = {index: node for node, index in mapping.items()}
+    result = run_program(relabeled, APSPProgram, seed=seed)
+    distances = {
+        inverse[index]: {
+            inverse[source]: hops
+            for source, hops in result.program(index).distances.items()
+        }
+        for index in range(relabeled.num_nodes)
+    }
+    return distances, result.metrics.rounds
+
+
+def distributed_diameter(graph: Graph, seed: int | None = None) -> tuple[int, int]:
+    """(diameter, rounds) via pipelined APSP + local eccentricities."""
+    distances, rounds = distributed_apsp(graph, seed=seed)
+    diameter = max(
+        max(row.values()) for row in distances.values()
+    )
+    return diameter, rounds

@@ -1,0 +1,57 @@
+"""Standalone distributed BFS from a designated root."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+
+KIND_BFS = "bfs"
+
+
+class BFSProgram(NodeProgram):
+    """Grows a BFS tree from ``root``; each node learns distance + parent.
+
+    The root sends a wave carrying its distance; a node adopting a smaller
+    distance re-broadcasts.  In a synchronous network the first wave
+    arrival is along a shortest path, so each node adopts exactly once and
+    the algorithm takes ``D + 1`` rounds and ``O(m)`` messages total.
+
+    Outputs (after the run): ``distance`` (None if unreachable),
+    ``parent`` (None for the root / unreached nodes).
+    """
+
+    def __init__(
+        self, info: NodeInfo, rng: np.random.Generator, root: int
+    ) -> None:
+        super().__init__(info, rng)
+        self.root = root
+        self.distance: int | None = 0 if info.node_id == root else None
+        self.parent: int | None = None
+
+    def on_start(self, ctx: RoundContext) -> None:
+        if self.node_id == self.root:
+            ctx.broadcast(KIND_BFS, 0)
+        self.halt()
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind != KIND_BFS:
+                continue
+            (sender_distance,) = message.fields
+            candidate = sender_distance + 1
+            if self.distance is None or candidate < self.distance:
+                self.distance = candidate
+                self.parent = message.sender
+                ctx.broadcast(KIND_BFS, candidate)
+        self.halt()
+
+
+def make_bfs_factory(root: int):
+    """Program factory for :class:`BFSProgram` with a fixed root."""
+
+    def factory(info: NodeInfo, rng: np.random.Generator) -> BFSProgram:
+        return BFSProgram(info, rng, root)
+
+    return factory

@@ -1,0 +1,55 @@
+"""Tree broadcast: flood a value from the root down a precomputed tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+
+KIND_BCAST = "bcast"
+
+
+class TreeBroadcastProgram(NodeProgram):
+    """Pushes one integer from the root to every node along tree edges.
+
+    Parameters
+    ----------
+    tree_children:
+        Mapping ``node -> tuple of children`` describing the tree (as
+        produced by leader election).  Each program only reads its own
+        entry - the mapping is shared for construction convenience only.
+    root, value:
+        The broadcasting node and its payload (known only to the root).
+
+    Output: ``received`` on every program.
+    """
+
+    def __init__(
+        self,
+        info: NodeInfo,
+        rng: np.random.Generator,
+        tree_children: dict[int, tuple[int, ...]],
+        root: int,
+        value: int,
+    ) -> None:
+        super().__init__(info, rng)
+        self.children = tree_children.get(info.node_id, ())
+        self.root = root
+        self.received: int | None = value if info.node_id == root else None
+
+    def on_start(self, ctx: RoundContext) -> None:
+        if self.node_id == self.root:
+            self._forward(ctx)
+        self.halt()
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind == KIND_BCAST and self.received is None:
+                (self.received,) = message.fields
+                self._forward(ctx)
+        self.halt()
+
+    def _forward(self, ctx: RoundContext) -> None:
+        for child in self.children:
+            ctx.send(child, KIND_BCAST, self.received)

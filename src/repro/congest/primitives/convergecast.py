@@ -1,0 +1,62 @@
+"""Tree convergecast: aggregate a sum from the leaves to the root."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+
+KIND_AGG = "agg"
+
+
+class ConvergecastSumProgram(NodeProgram):
+    """Sums one integer per node up a precomputed tree.
+
+    A node sends ``local_value + sum(child reports)`` to its parent once
+    every child has reported; leaves fire immediately.  Takes (tree
+    height) rounds and one message per tree edge.
+
+    Output: ``total`` at the root (None elsewhere).
+    """
+
+    def __init__(
+        self,
+        info: NodeInfo,
+        rng: np.random.Generator,
+        tree_children: dict[int, tuple[int, ...]],
+        tree_parent: dict[int, int | None],
+        local_value: int,
+    ) -> None:
+        super().__init__(info, rng)
+        self.children = tree_children.get(info.node_id, ())
+        self.parent = tree_parent.get(info.node_id)
+        self.local_value = local_value
+        self._pending = set(self.children)
+        self._accumulated = local_value
+        self._reported = False
+        self.total: int | None = None
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._maybe_report(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind != KIND_AGG:
+                continue
+            (value,) = message.fields
+            self._accumulated += value
+            self._pending.discard(message.sender)
+        self._maybe_report(ctx)
+
+    def _maybe_report(self, ctx: RoundContext) -> None:
+        if self._pending or self._reported:
+            if self._reported:
+                self.halt()
+            return
+        self._reported = True
+        if self.parent is None:
+            self.total = self._accumulated
+        else:
+            ctx.send(self.parent, KIND_AGG, self._accumulated)
+        self.halt()

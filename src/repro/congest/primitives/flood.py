@@ -1,0 +1,115 @@
+"""Flood-max with simultaneous BFS: the shared setup logic.
+
+Every node holds a candidate ``(rank, id, distance, parent)``.  Initially
+the candidate is itself at distance 0.  Whenever a node learns of a
+lexicographically larger ``(rank, id)`` - or the same leader at a shorter
+distance - it adopts it and re-floods.  After ``D`` rounds the unique
+maximum has reached everyone along shortest paths, so parents form a BFS
+tree rooted at the leader; running for ``n >= D`` rounds guarantees
+stabilization without knowing ``D``.
+
+This module is *logic only* (no NodeProgram base) so both the standalone
+primitives and the phased RWBC protocol can embed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congest.message import Message
+from repro.congest.node import RoundContext
+
+KIND_FLOOD = "flood"
+KIND_ADOPT = "adopt"
+
+
+@dataclass
+class FloodMaxState:
+    """Stabilized result of the flood phase at one node."""
+
+    leader_id: int
+    leader_rank: int
+    distance: int
+    parent: int | None
+    children: tuple[int, ...]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.parent is None
+
+
+class FloodMaxBFS:
+    """Embeddable flood-max + BFS-tree logic for one node.
+
+    Usage pattern (driven by the owning program)::
+
+        flood = FloodMaxBFS(node_id, rank)
+        flood.start(ctx)                       # round 0
+        for each round while not done:
+            flood.step(ctx, inbox_messages)
+        # after n flooding rounds:
+        flood.announce_parent(ctx)             # one extra round
+        # after one more round:
+        state = flood.finish(inbox_messages)
+
+    The three-stage dance keeps each stage a constant number of messages
+    per edge: flooding messages carry ``(rank, id, distance)`` and the
+    parent announcement carries nothing but its kind tag.
+    """
+
+    def __init__(self, node_id: int, rank: int) -> None:
+        self.node_id = node_id
+        self.rank = rank
+        self.best_rank = rank
+        self.best_id = node_id
+        self.distance = 0
+        self.parent: int | None = None
+        self._needs_flood = True
+
+    def _key(self) -> tuple[int, int]:
+        return (self.best_rank, self.best_id)
+
+    def start(self, ctx: RoundContext) -> None:
+        """Send the initial flood wave."""
+        self._flood(ctx)
+
+    def step(self, ctx: RoundContext, messages: list[Message]) -> None:
+        """Process one round of flood messages, re-flooding on improvement."""
+        improved = False
+        for message in messages:
+            if message.kind != KIND_FLOOD:
+                continue
+            rank, leader_id, distance = message.fields
+            candidate = (rank, leader_id)
+            through = distance + 1
+            if candidate > self._key() or (
+                candidate == self._key() and through < self.distance
+            ):
+                self.best_rank = rank
+                self.best_id = leader_id
+                self.distance = through
+                self.parent = message.sender
+                improved = True
+        if improved:
+            self._flood(ctx)
+
+    def _flood(self, ctx: RoundContext) -> None:
+        ctx.broadcast(KIND_FLOOD, self.best_rank, self.best_id, self.distance)
+
+    def announce_parent(self, ctx: RoundContext) -> None:
+        """After stabilization, tell the parent it has a child."""
+        if self.parent is not None:
+            ctx.send(self.parent, KIND_ADOPT)
+
+    def finish(self, messages: list[Message]) -> FloodMaxState:
+        """Collect child announcements and freeze the final state."""
+        children = tuple(
+            sorted(m.sender for m in messages if m.kind == KIND_ADOPT)
+        )
+        return FloodMaxState(
+            leader_id=self.best_id,
+            leader_rank=self.best_rank,
+            distance=self.distance,
+            parent=self.parent,
+            children=children,
+        )

@@ -1,0 +1,43 @@
+"""Standalone leader election: flood-max over random ranks.
+
+Each node draws a uniform rank in ``[0, n^3)``, making the winner a
+uniformly random node (ties broken by id are an ``O(1/n)`` probability
+event).  This implements the paper's "randomly choose a target node t"
+step as an actual distributed mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+
+
+class LeaderElectionProgram(NodeProgram):
+    """Elects a leader and builds the BFS tree rooted at it.
+
+    The flood runs for exactly ``n`` rounds (an upper bound on the
+    diameter, which nodes do not know), then one announce round and one
+    collection round.  Outputs: ``state`` (:class:`FloodMaxState`).
+    """
+
+    def __init__(self, info: NodeInfo, rng: np.random.Generator) -> None:
+        super().__init__(info, rng)
+        rank = int(rng.integers(0, max(2, info.n) ** 3))
+        self._flood = FloodMaxBFS(info.node_id, rank)
+        self._flood_rounds = info.n
+        self.state: FloodMaxState | None = None
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._flood.start(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        if ctx.round_number <= self._flood_rounds:
+            self._flood.step(ctx, inbox)
+            if ctx.round_number == self._flood_rounds:
+                self._flood.announce_parent(ctx)
+        elif self.state is None:
+            self.state = self._flood.finish(inbox)
+            self.halt()

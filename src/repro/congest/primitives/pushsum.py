@@ -1,0 +1,148 @@
+"""Quantized push-sum gossip: tree-free average/sum aggregation.
+
+The main protocol aggregates its death counter over the BFS tree; gossip
+is the standard tree-free alternative (Kempe-Dobra-Gehrke push-sum):
+every node repeatedly halves its (value, weight) mass and pushes one
+half to a uniformly random neighbor; ``value / weight`` converges to the
+global average at a rate governed by the conductance.
+
+CONGEST wrinkle: push-sum is defined over reals, but our transport
+(deliberately) carries only integers.  We therefore run *quantized*
+push-sum in fixed point: values are scaled by ``2^SCALE_BITS`` and
+halving uses integer division.  Quantization residue is kept, not
+dropped - each node retains the odd remainders locally, so the global
+invariant "total scaled mass is conserved" holds exactly, and the
+estimate converges to the true average up to fixed-point resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.graphs.graph import Graph, GraphError
+
+KIND_PUSH = "push"
+SCALE_BITS = 20
+SCALE = 1 << SCALE_BITS
+
+
+class PushSumProgram(NodeProgram):
+    """One node of quantized push-sum averaging.
+
+    Parameters
+    ----------
+    local_value:
+        The integer this node contributes to the average.
+    rounds:
+        Fixed horizon after which nodes stop and read their estimate
+        (push-sum has no local termination test; callers size the
+        horizon as ``O(log(n / accuracy) / gap)``).
+
+    Output: ``estimate`` - this node's view of the global average.
+    """
+
+    def __init__(
+        self,
+        info: NodeInfo,
+        rng: np.random.Generator,
+        local_value: int,
+        rounds: int,
+    ) -> None:
+        super().__init__(info, rng)
+        if rounds < 1:
+            raise GraphError("push-sum needs rounds >= 1")
+        self.rounds = rounds
+        self.scaled_value = int(local_value) * SCALE
+        self.scaled_weight = SCALE
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._push(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind == KIND_PUSH:
+                value, weight = message.fields
+                self.scaled_value += value
+                self.scaled_weight += weight
+        if ctx.round_number >= self.rounds:
+            self.halt()
+            return
+        self._push(ctx)
+
+    def _push(self, ctx: RoundContext) -> None:
+        # Integer halving; the odd remainder stays local so no mass is
+        # ever created or destroyed.
+        send_value = self.scaled_value // 2
+        send_weight = self.scaled_weight // 2
+        self.scaled_value -= send_value
+        self.scaled_weight -= send_weight
+        neighbor = self.neighbors[int(self.rng.integers(self.degree))]
+        ctx.send(neighbor, KIND_PUSH, send_value, send_weight)
+
+    @property
+    def estimate(self) -> float:
+        """Current estimate of the global average."""
+        if self.scaled_weight == 0:
+            return 0.0
+        return self.scaled_value / self.scaled_weight
+
+
+def gossip_average(
+    graph: Graph,
+    values: dict,
+    rounds: int | None = None,
+    seed: int | None = None,
+) -> dict:
+    """Run push-sum; returns each node's average estimate.
+
+    ``values`` maps node -> integer contribution.  ``rounds`` defaults
+    to ``8 * ceil(log2 n) + 20``, ample on expanders (slow-mixing graphs
+    need more; pass it explicitly).
+    """
+    import math
+
+    from repro.congest.scheduler import run_program
+    from repro.congest.transport import BandwidthPolicy
+    from repro.graphs.properties import is_connected
+
+    if set(values) != set(graph.nodes()):
+        raise GraphError("values must cover exactly the graph's nodes")
+    for node, value in values.items():
+        if not isinstance(value, (int, np.integer)):
+            raise GraphError(
+                f"push-sum values must be integers, got {value!r} at "
+                f"{node!r} (the transport carries integers only)"
+            )
+    if not is_connected(graph):
+        raise GraphError("gossip requires a connected graph")
+    relabeled, mapping = graph.relabeled()
+    inverse = {index: node for node, index in mapping.items()}
+    if rounds is None:
+        rounds = 8 * max(1, int(np.ceil(np.log2(max(2, graph.num_nodes))))) + 20
+
+    def factory(info: NodeInfo, rng: np.random.Generator) -> PushSumProgram:
+        return PushSumProgram(
+            info, rng, local_value=values[inverse[info.node_id]], rounds=rounds
+        )
+
+    # Message width: the fixed-point resolution (SCALE_BITS) plus the
+    # value range rides in every message.  For bounded values and
+    # constant precision this is O(log n) + O(1); size the policy so the
+    # constant does not trip the small-n floor.
+    n = graph.num_nodes
+    max_abs = max(1, max(abs(int(v)) for v in values.values()))
+    needed = (
+        8  # tag
+        + 2 * (max_abs.bit_length() + SCALE_BITS + n.bit_length() + 4)
+    )
+    log_term = max(1, math.ceil(math.log2(max(2, n))))
+    policy = BandwidthPolicy(
+        n=n, log_factor=max(8, math.ceil(needed / log_term))
+    )
+    result = run_program(relabeled, factory, seed=seed, policy=policy)
+    return {
+        inverse[index]: result.program(index).estimate
+        for index in range(relabeled.num_nodes)
+    }

@@ -1,0 +1,120 @@
+"""Post-mortem inspection of recorded message logs.
+
+``record_messages=True`` captures everything that crossed the network;
+this module turns that log into analyses: per-round and per-kind traffic
+summaries, per-edge load profiles, phase boundary detection, and a
+compact ASCII timeline - the debugging views used while building the
+protocol, promoted to a supported API.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.congest.message import Message
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Traffic of one round."""
+
+    round_number: int
+    messages: int
+    bits: int
+    by_kind: dict[str, int]
+
+    @property
+    def dominant_kind(self) -> str | None:
+        if not self.by_kind:
+            return None
+        return max(self.by_kind, key=self.by_kind.get)
+
+
+def summarize_rounds(message_log: list[list[Message]]) -> list[RoundSummary]:
+    """One :class:`RoundSummary` per recorded round (1-indexed)."""
+    summaries = []
+    for round_number, round_messages in enumerate(message_log, start=1):
+        kinds = Counter(message.kind for message in round_messages)
+        summaries.append(
+            RoundSummary(
+                round_number=round_number,
+                messages=len(round_messages),
+                bits=sum(message.bits for message in round_messages),
+                by_kind=dict(kinds),
+            )
+        )
+    return summaries
+
+
+def kind_totals(message_log: list[list[Message]]) -> dict[str, int]:
+    """Total message count per kind over the whole run."""
+    totals: Counter[str] = Counter()
+    for round_messages in message_log:
+        totals.update(message.kind for message in round_messages)
+    return dict(totals)
+
+
+def busiest_edges(
+    message_log: list[list[Message]], top: int = 10
+) -> list[tuple[tuple[int, int], int]]:
+    """The ``top`` directed edges by total messages carried."""
+    if top < 1:
+        raise GraphError("top must be >= 1")
+    loads: Counter[tuple[int, int]] = Counter()
+    for round_messages in message_log:
+        loads.update(
+            (message.sender, message.receiver)
+            for message in round_messages
+        )
+    return loads.most_common(top)
+
+
+def detect_phases(message_log: list[list[Message]]) -> list[tuple[str, int, int]]:
+    """Contiguous spans of rounds grouped by their dominant message kind.
+
+    Returns ``(kind, first_round, last_round)`` triples - for the RWBC
+    protocol this recovers the setup/counting/exchange structure from
+    traffic alone.
+    """
+    spans: list[tuple[str, int, int]] = []
+    for summary in summarize_rounds(message_log):
+        kind = summary.dominant_kind or "(idle)"
+        if spans and spans[-1][0] == kind:
+            spans[-1] = (kind, spans[-1][1], summary.round_number)
+        else:
+            spans.append((kind, summary.round_number, summary.round_number))
+    return spans
+
+
+def ascii_timeline(
+    message_log: list[list[Message]], width: int = 72
+) -> str:
+    """A one-line-per-bucket traffic sparkline using block characters.
+
+    Rounds are bucketed to fit ``width``; each bucket shows relative
+    message volume on a 0-7 scale.
+    """
+    if width < 8:
+        raise GraphError("width must be >= 8")
+    summaries = summarize_rounds(message_log)
+    if not summaries:
+        return "(empty log)"
+    blocks = " .:-=+*#"
+    bucket_count = min(width, len(summaries))
+    per_bucket = len(summaries) / bucket_count
+    volumes = []
+    for bucket in range(bucket_count):
+        start = int(bucket * per_bucket)
+        end = max(start + 1, int((bucket + 1) * per_bucket))
+        volumes.append(
+            sum(summary.messages for summary in summaries[start:end])
+        )
+    peak = max(volumes) or 1
+    line = "".join(
+        blocks[min(7, int(8 * volume / (peak + 1)))] for volume in volumes
+    )
+    return (
+        f"rounds 1..{len(summaries)}  peak {peak} msgs/bucket\n[{line}]"
+    )

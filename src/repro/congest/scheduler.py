@@ -1,0 +1,231 @@
+"""The synchronous round scheduler: the heart of the CONGEST simulator.
+
+Execution model (section III-A of the paper):
+
+* time advances in discrete rounds;
+* a message sent in round ``r`` is delivered at the start of round
+  ``r + 1``;
+* per round, each directed edge carries at most a constant number of
+  messages of ``O(log n)`` bits each (enforced by the transport).
+
+The simulation ends when every node program has halted and no messages
+are in flight, or fails with :class:`RoundLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.congest.errors import ConfigError, RoundLimitExceeded
+from repro.congest.message import Message
+from repro.congest.metrics import RunMetrics
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.trace import NullTracer, Tracer
+from repro.congest.transport import BandwidthPolicy, RoundOutbox
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_connected
+
+ProgramFactory = Callable[[NodeInfo, np.random.Generator], NodeProgram]
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable after a run."""
+
+    programs: Mapping[int, NodeProgram]
+    metrics: RunMetrics
+    tracer: Tracer | NullTracer
+    message_log: list[list[Message]] = field(default_factory=list)
+
+    def program(self, node_id: int) -> NodeProgram:
+        return self.programs[node_id]
+
+
+class Simulator:
+    """Drives one distributed algorithm over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.  Node labels must be integers (real
+        CONGEST identifiers are ``O(log n)``-bit strings; ints model that
+        directly).  Use :meth:`Graph.relabeled` for other label types.
+    program_factory:
+        Callable building a :class:`NodeProgram` from ``(NodeInfo, rng)``.
+    policy:
+        Bandwidth constants; defaults to ``BandwidthPolicy(n=graph.n)``.
+    seed:
+        Master seed; each node gets an independent child generator, so
+        runs are reproducible and node randomness is private (public
+        randomness would change the lower-bound setting).
+    max_rounds:
+        Safety limit; exceeding it raises :class:`RoundLimitExceeded`.
+    record_messages:
+        Keep the full per-round message log (needed for cut-bit counting
+        in the lower-bound experiments; memory-heavy otherwise).
+    tracer:
+        Optional :class:`Tracer` for debugging.
+    require_connected:
+        Reject disconnected topologies up front (random walk betweenness
+        is undefined across components).
+    drop_rate:
+        Probability that any individual message is silently lost in
+        transit.  The CONGEST model assumes reliable synchronous
+        channels - this knob exists for failure-injection experiments
+        demonstrating *how* the protocols depend on that assumption
+        (e.g. lost walk tokens stall the termination detector, which
+        surfaces as :class:`RoundLimitExceeded` rather than a silently
+        wrong answer).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program_factory: ProgramFactory,
+        policy: BandwidthPolicy | None = None,
+        seed: int | None = None,
+        max_rounds: int = 1_000_000,
+        record_messages: bool = False,
+        tracer: Tracer | None = None,
+        require_connected: bool = True,
+        drop_rate: float = 0.0,
+    ) -> None:
+        if graph.num_nodes == 0:
+            raise ConfigError("cannot simulate the empty graph")
+        for node in graph.nodes():
+            if not isinstance(node, int) or isinstance(node, bool):
+                raise ConfigError(
+                    f"node labels must be ints, got {node!r}; "
+                    "use Graph.relabeled() first"
+                )
+        if require_connected and not is_connected(graph):
+            raise ConfigError("graph must be connected")
+        if max_rounds < 1:
+            raise ConfigError("max_rounds must be >= 1")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ConfigError("drop_rate must be in [0, 1)")
+        self.drop_rate = drop_rate
+        self.graph = graph
+        self.policy = policy or BandwidthPolicy(n=graph.num_nodes)
+        self.max_rounds = max_rounds
+        self.record_messages = record_messages
+        # Explicit None check: an empty Tracer is falsy (it has __len__).
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._seed = seed
+        self._factory = program_factory
+
+    def _build_programs(self) -> dict[int, NodeProgram]:
+        master = np.random.default_rng(self._seed)
+        # One child generator per node, in canonical order, so results do
+        # not depend on Python dict iteration order.
+        order = self.graph.canonical_order()
+        children = master.spawn(len(order))
+        programs: dict[int, NodeProgram] = {}
+        for node, rng in zip(order, children):
+            info = NodeInfo(
+                node_id=node,
+                neighbors=tuple(sorted(self.graph.neighbors(node))),
+                n=self.graph.num_nodes,
+            )
+            programs[node] = self._factory(info, rng)
+        return programs
+
+    def run(self) -> SimulationResult:
+        """Execute rounds until global termination.
+
+        Returns
+        -------
+        SimulationResult
+            Final programs (read their attributes for outputs), metrics,
+            and optionally the full message log.
+
+        Raises
+        ------
+        RoundLimitExceeded
+            If termination is not reached within ``max_rounds``.
+        """
+        programs = self._build_programs()
+        metrics = RunMetrics()
+        message_log: list[list[Message]] = []
+        outbox = RoundOutbox(self.policy)
+        order = self.graph.canonical_order()
+        drop_rng = None
+        if self.drop_rate > 0:
+            drop_seed = None if self._seed is None else (self._seed, 0xD509)
+            drop_rng = np.random.default_rng(drop_seed)
+
+        # Round 0: on_start, no deliveries.
+        for node in order:
+            ctx = RoundContext(
+                node, programs[node].neighbors, outbox, round_number=0
+            )
+            programs[node].on_start(ctx)
+
+        in_flight = outbox.drain()
+        round_number = 0
+        while True:
+            all_halted = all(p.halted for p in programs.values())
+            if all_halted and not in_flight:
+                break
+            round_number += 1
+            if round_number > self.max_rounds:
+                raise RoundLimitExceeded(
+                    f"no termination after {self.max_rounds} rounds "
+                    f"({sum(p.halted for p in programs.values())}/"
+                    f"{len(programs)} nodes halted, "
+                    f"{len(in_flight)} messages in flight)"
+                )
+            # Deliver last round's messages (minus injected losses).
+            if drop_rng is not None and in_flight:
+                kept = drop_rng.random(len(in_flight)) >= self.drop_rate
+                in_flight = [
+                    message
+                    for message, keep in zip(in_flight, kept)
+                    if keep
+                ]
+            inboxes: dict[int, list[Message]] = {node: [] for node in order}
+            for message in in_flight:
+                inboxes[message.receiver].append(message)
+                self.tracer.record(
+                    round_number,
+                    message.receiver,
+                    "deliver",
+                    message.kind,
+                    message.sender,
+                )
+            metrics.record_round(in_flight)
+            if self.record_messages:
+                message_log.append(in_flight)
+            # Every node acts each round; receiving mail un-halts a node.
+            for node in order:
+                program = programs[node]
+                inbox = inboxes[node]
+                if program.halted and not inbox:
+                    continue
+                if program.halted and inbox:
+                    program.unhalt()
+                ctx = RoundContext(
+                    node, program.neighbors, outbox, round_number
+                )
+                program.on_round(ctx, inbox)
+            in_flight = outbox.drain()
+
+        return SimulationResult(
+            programs=programs,
+            metrics=metrics,
+            tracer=self.tracer,
+            message_log=message_log,
+        )
+
+
+def run_program(
+    graph: Graph,
+    program_factory: ProgramFactory,
+    seed: int | None = None,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(graph, program_factory, seed=seed, **kwargs).run()

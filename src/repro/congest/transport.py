@@ -1,0 +1,102 @@
+"""Bandwidth-enforcing transport between nodes.
+
+The transport collects the messages queued during one round and delivers
+them at the start of the next, enforcing the CONGEST limits:
+
+* every single message must fit in ``bits_per_message`` bits, and
+* at most ``messages_per_edge`` messages may use one directed edge per
+  round.
+
+Violations raise :class:`~repro.congest.errors.CongestViolation`
+immediately at send time, attributing the bug to the offending program
+rather than silently dropping traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.congest.errors import CongestViolation, ConfigError
+from repro.congest.message import Message
+
+
+@dataclass(frozen=True)
+class BandwidthPolicy:
+    """The model constants of one simulation.
+
+    Attributes
+    ----------
+    n:
+        Network size; the ``log n`` in the model's ``O(log n)`` budget.
+    log_factor:
+        ``c`` in the per-message budget ``c * ceil(log2 n)`` bits.
+    messages_per_edge:
+        Maximum messages per directed edge per round (the model's "constant
+        number of messages").
+    """
+
+    n: int
+    log_factor: int = 8
+    messages_per_edge: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigError("BandwidthPolicy requires n >= 1")
+        if self.log_factor < 1:
+            raise ConfigError("BandwidthPolicy requires log_factor >= 1")
+        if self.messages_per_edge < 1:
+            raise ConfigError("BandwidthPolicy requires messages_per_edge >= 1")
+
+    @property
+    def bits_per_message(self) -> int:
+        """The ``O(log n)`` per-message budget.
+
+        The floor of 48 bits keeps small-n simulations workable: leader
+        ranks span ``[0, n^3)`` (3 log n bits) and ride with an id and a
+        distance, which exceeds ``8 log2 n`` for n < ~10.  The floor is a
+        constant, so the asymptotic budget is unchanged.
+        """
+        return max(48, self.log_factor * math.ceil(math.log2(max(2, self.n))))
+
+
+class RoundOutbox:
+    """Accumulates one round's outgoing messages under the bandwidth policy."""
+
+    def __init__(self, policy: BandwidthPolicy) -> None:
+        self._policy = policy
+        self._messages: list[Message] = []
+        self._edge_counts: dict[tuple[int, int], int] = {}
+
+    def push(self, message: Message) -> None:
+        """Accept a message or raise :class:`CongestViolation`."""
+        limit = self._policy.bits_per_message
+        if message.bits > limit:
+            raise CongestViolation(
+                f"message {message!r} is {message.bits} bits, exceeding the "
+                f"per-message budget of {limit} bits"
+            )
+        edge = (message.sender, message.receiver)
+        used = self._edge_counts.get(edge, 0)
+        if used >= self._policy.messages_per_edge:
+            raise CongestViolation(
+                f"edge {edge} already carries {used} messages this round "
+                f"(limit {self._policy.messages_per_edge})"
+            )
+        self._edge_counts[edge] = used + 1
+        self._messages.append(message)
+
+    def edge_load(self, sender: int, receiver: int) -> int:
+        """Messages queued on one directed edge this round (for programs
+        that self-limit their sends, e.g. the walk counting phase)."""
+        return self._edge_counts.get((sender, receiver), 0)
+
+    def drain(self) -> list[Message]:
+        """Remove and return all queued messages."""
+        messages = self._messages
+        self._messages = []
+        self._edge_counts = {}
+        return messages
+
+    def __len__(self) -> int:
+        return len(self._messages)

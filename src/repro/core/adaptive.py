@@ -1,0 +1,120 @@
+"""Adaptive Monte-Carlo estimation: spend walks until values settle.
+
+The paper's fixed ``K = O(log n)`` schedule is blind to the
+instance-dependent constants measured in E4/E10/E15 (visit-count
+dispersion, absolute-value bias).  This estimator runs the counting
+process in doubling batches and stops when successive pooled estimates
+agree to a caller-chosen tolerance - a practical stopping rule that
+inherits the engine's semantics exactly (pooled counts over all batches
+are one big run).
+
+Note on what "converged" means: the stopping rule tracks the *stability*
+of the estimate (variance), not its residual bias; at tight tolerances
+both shrink together (bias and noise share the ``1/sqrt(K)`` scale - see
+E15), and the split-sample diagnostic of :mod:`repro.core.bias` remains
+the tool for quantifying bias explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.montecarlo import betweenness_from_counts
+from repro.core.parameters import default_length
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.simulate import simulate_walk_counts
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of one adaptive run."""
+
+    betweenness: dict
+    walks_per_source: int
+    converged: bool
+    iterations: int
+    history: tuple[float, ...]  # max relative change per doubling
+
+
+def adaptive_montecarlo(
+    graph: Graph,
+    target=None,
+    tolerance: float = 0.05,
+    initial_walks: int = 8,
+    max_walks: int = 4096,
+    length: int | None = None,
+    seed: int | None = None,
+    include_endpoints: bool = True,
+    normalized: bool = True,
+) -> AdaptiveResult:
+    """Estimate RWBC with walk doubling until estimates stabilize.
+
+    Stops when the maximum per-node relative change between successive
+    pooled estimates drops below ``tolerance``, or when the per-source
+    walk budget reaches ``max_walks`` (then ``converged`` is False).
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("need at least 2 nodes")
+    if not 0.0 < tolerance < 1.0:
+        raise GraphError("tolerance must be in (0, 1)")
+    if initial_walks < 1:
+        raise GraphError("initial_walks must be >= 1")
+    if max_walks < initial_walks:
+        raise GraphError("max_walks must be >= initial_walks")
+    rng = np.random.default_rng(seed)
+    if target is None:
+        order = graph.canonical_order()
+        target = order[int(rng.integers(len(order)))]
+    if length is None:
+        length = default_length(graph.num_nodes)
+
+    n = graph.num_nodes
+    pooled = np.zeros((n, n), dtype=np.int64)
+    total_walks = 0
+    batch = initial_walks
+    previous: dict | None = None
+    history: list[float] = []
+    converged = False
+    iterations = 0
+
+    while total_walks < max_walks:
+        batch = min(batch, max_walks - total_walks)
+        result = simulate_walk_counts(
+            graph,
+            target,
+            length=length,
+            walks_per_source=batch,
+            seed=rng,
+        )
+        pooled += result.counts
+        total_walks += batch
+        iterations += 1
+        current = betweenness_from_counts(
+            graph,
+            pooled,
+            total_walks,
+            include_endpoints=include_endpoints,
+            normalized=normalized,
+        )
+        if previous is not None:
+            change = max(
+                abs(current[v] - previous[v]) / max(abs(previous[v]), 1e-12)
+                for v in current
+            )
+            history.append(change)
+            if change < tolerance:
+                converged = True
+                previous = current
+                break
+        previous = current
+        batch = total_walks  # double the pool each iteration
+
+    return AdaptiveResult(
+        betweenness=previous,
+        walks_per_source=total_walks,
+        converged=converged,
+        iterations=iterations,
+        history=tuple(history),
+    )

@@ -1,0 +1,125 @@
+"""Bias diagnostics for the Algorithm 2 estimator.
+
+Reproduction finding (experiment E15): Eq. 6 applies an absolute value
+to *estimated* potential differences, and ``E|x + noise| > |x|``, so the
+betweenness estimate carries a systematic upward bias that accumulates
+over the Theta(n^2) pairs.  At the paper's ``K = O(log n)`` schedule the
+bias *grows* with n (it is the dominant error term), even though the
+per-count concentration of Theorem 3 holds exactly as stated.  Rankings
+survive (the bias is nearly uniform across nodes); values do not.
+
+This module quantifies and optionally removes the bias using a
+split-sample construction: run the counting phase as two independent
+halves ``A`` and ``B``.  Then
+
+* ``w = (w_A + w_B) / 2`` estimates the true difference with noise
+  variance ``sigma^2 / 2``, and
+* ``e = (w_A - w_B) / 2`` is *pure noise with the identical
+  distribution* under the null (true difference zero).
+
+Hence ``sum |e|`` terms measure the noise floor of ``sum |w|`` exactly
+for null pairs, and ``|w| - |e|`` is unbiased on nulls and slightly
+conservative on strong signals.  The debiased values trade a little
+ranking quality for greatly reduced value bias - both effects are
+measured in the E15 bench.
+
+Everything here is distributable: the two halves are just two count
+vectors per node (tag each walk with one bit), doubling the exchange
+phase to ``2n`` rounds - still ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flow_math import betweenness_from_raw_flow, pair_sum_excluding
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.simulate import simulate_walk_counts
+
+
+@dataclass(frozen=True)
+class SplitEstimate:
+    """Plain, noise-floor, and debiased estimates from one split run."""
+
+    plain: dict
+    noise_floor: dict
+    debiased: dict
+    walks_per_half: int
+
+
+def _half_potentials(graph: Graph, target, length, walks, seed):
+    counts = simulate_walk_counts(
+        graph, target, length=length, walks_per_source=walks, seed=seed
+    )
+    return counts.counts / graph.degree_vector()[:, np.newaxis]
+
+
+def split_estimate_rwbc(
+    graph: Graph,
+    target,
+    length: int,
+    walks_per_source: int,
+    seed: int = 0,
+    include_endpoints: bool = True,
+    normalized: bool = True,
+) -> SplitEstimate:
+    """Monte-Carlo RWBC with split-sample bias accounting.
+
+    ``walks_per_source`` is the *total* K; each half runs K/2 walks.
+
+    Returns the plain estimator (identical in distribution to
+    :func:`repro.core.montecarlo.estimate_rwbc_montecarlo` at the same
+    total K), the per-node noise floor, and the debiased values
+    ``plain - noise_floor``.
+    """
+    if walks_per_source < 2:
+        raise GraphError("split estimation needs walks_per_source >= 2")
+    half = walks_per_source // 2
+    rng = np.random.default_rng(seed)
+    seed_a, seed_b = int(rng.integers(2**32)), int(rng.integers(2**32))
+    pot_a = _half_potentials(graph, target, length, half, seed_a)
+    pot_b = _half_potentials(graph, target, length, half, seed_b)
+    mean_potentials = (pot_a + pot_b) / 2.0
+    noise = (pot_a - pot_b) / 2.0
+
+    n = graph.num_nodes
+    order = graph.canonical_order()
+    plain: dict = {}
+    floor: dict = {}
+    debiased: dict = {}
+    for i, node in enumerate(order):
+        raw_signal = 0.0
+        raw_noise = 0.0
+        for neighbor in graph.neighbors(node):
+            j = graph.index_of(neighbor)
+            raw_signal += pair_sum_excluding(
+                mean_potentials[i] - mean_potentials[j], i
+            )
+            raw_noise += pair_sum_excluding(noise[i] - noise[j], i)
+        raw_signal *= 0.5
+        raw_noise *= 0.5
+        plain[node] = betweenness_from_raw_flow(
+            raw_signal,
+            n,
+            scale=float(half),
+            include_endpoints=include_endpoints,
+            normalized=normalized,
+        )
+        # The noise floor carries no endpoint credit: Eq. 7 terms are
+        # deterministic and bias-free.
+        floor[node] = betweenness_from_raw_flow(
+            raw_noise,
+            n,
+            scale=float(half),
+            include_endpoints=False,
+            normalized=False,
+        ) / (0.5 * n * (n - 1) if normalized else 1.0)
+        debiased[node] = plain[node] - floor[node]
+    return SplitEstimate(
+        plain=plain,
+        noise_floor=floor,
+        debiased=debiased,
+        walks_per_half=half,
+    )

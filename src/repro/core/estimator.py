@@ -1,0 +1,201 @@
+"""High-level entry points: one call from graph to betweenness.
+
+``estimate_rwbc_distributed`` runs the faithful CONGEST protocol;
+``estimate_rwbc_montecarlo`` (re-exported) runs the same sampling
+centrally; ``rwbc_exact`` (re-exported) is the matrix solver.  All three
+share conventions, so their outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.scheduler import Simulator
+from repro.congest.transport import BandwidthPolicy
+from repro.core.montecarlo import estimate_rwbc_montecarlo
+from repro.core.exact import rwbc_exact
+from repro.core.parameters import WalkParameters, default_parameters
+from repro.core.protocol import (
+    PHASE_COUNTING,
+    ProtocolConfig,
+    make_protocol_factory,
+)
+from repro.core.result import DistributedRWBCResult
+from repro.core.walk_manager import TransportPolicy
+from repro.graphs.graph import Graph, GraphError
+
+__all__ = [
+    "estimate_alpha_cfbc_distributed",
+    "estimate_rwbc_distributed",
+    "estimate_rwbc_montecarlo",
+    "rwbc_exact",
+    "default_max_rounds",
+]
+
+
+def default_max_rounds(n: int, parameters: WalkParameters) -> int:
+    """A generous round limit: setup + congestion-inflated counting +
+    exchange, with slack.  Exceeding it indicates a protocol bug, not a
+    slow run."""
+    counting_bound = 40 * (
+        parameters.walks_per_source * n + parameters.length
+    )
+    return 1000 + 4 * n + counting_bound
+
+
+def estimate_rwbc_distributed(
+    graph: Graph,
+    parameters: WalkParameters | None = None,
+    seed: int | None = None,
+    policy: TransportPolicy = TransportPolicy.QUEUE,
+    walk_budget: int = 2,
+    bandwidth: BandwidthPolicy | None = None,
+    include_endpoints: bool = True,
+    normalized: bool = True,
+    count_initial: bool = True,
+    max_rounds: int | None = None,
+    record_messages: bool = False,
+    survival_alpha: float | None = None,
+    split_sampling: bool = False,
+) -> DistributedRWBCResult:
+    """Run the paper's full distributed algorithm on the CONGEST simulator.
+
+    The graph may use any hashable labels; it is relabeled to ``0..n-1``
+    internally and results are mapped back.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph with n >= 2.
+    parameters:
+        ``(l, K)``; defaults to the Theorem 1/3 schedules.
+    seed:
+        Master seed (drives node ranks, hence the random target, and all
+        walk randomness).
+    policy, walk_budget:
+        Walk transport behaviour (experiment E12 compares policies).
+    bandwidth:
+        CONGEST constants; default allows walk_budget + control messages.
+    include_endpoints, normalized, count_initial:
+        Semantics switches shared with the other engines.
+    record_messages:
+        Keep the full message log (for cut-bit analyses).
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("need at least 2 nodes")
+    relabeled, mapping = graph.relabeled()
+    inverse = {index: node for node, index in mapping.items()}
+    n = relabeled.num_nodes
+    if parameters is None:
+        parameters = default_parameters(n)
+    config = ProtocolConfig(
+        length=parameters.length,
+        walks_per_source=parameters.walks_per_source,
+        policy=policy,
+        walk_budget=walk_budget,
+        count_initial=count_initial,
+        include_endpoints=include_endpoints,
+        normalized=normalized,
+        survival_alpha=survival_alpha,
+        split_sampling=split_sampling,
+    )
+    if bandwidth is None:
+        bandwidth = BandwidthPolicy(n=n, messages_per_edge=walk_budget + 2)
+    simulator = Simulator(
+        relabeled,
+        make_protocol_factory(config),
+        policy=bandwidth,
+        seed=seed,
+        max_rounds=max_rounds or default_max_rounds(n, parameters),
+        record_messages=record_messages,
+    )
+    result = simulator.run()
+
+    programs = result.programs
+    any_program = programs[0]
+    phase_rounds = _phase_breakdown(any_program, result.metrics.rounds)
+    betweenness = {
+        inverse[index]: programs[index].betweenness for index in range(n)
+    }
+    counts = {inverse[index]: programs[index].counts for index in range(n)}
+    edge_values: dict = {}
+    for index in range(n):
+        for neighbor, value in programs[index].edge_betweenness.items():
+            key = (inverse[min(index, neighbor)], inverse[max(index, neighbor)])
+            # Both endpoints computed the same quantity; average to fold
+            # float noise.
+            edge_values[key] = edge_values.get(key, 0.0) + value / 2.0
+    debiased = None
+    floor = None
+    if split_sampling:
+        debiased = {
+            inverse[index]: programs[index].betweenness_debiased
+            for index in range(n)
+        }
+        floor = {
+            inverse[index]: programs[index].noise_floor
+            for index in range(n)
+        }
+    return DistributedRWBCResult(
+        betweenness=betweenness,
+        target=inverse[any_program.target],
+        parameters=parameters,
+        metrics=result.metrics,
+        phase_rounds=phase_rounds,
+        counts=counts,
+        betweenness_debiased=debiased,
+        noise_floor=floor,
+        edge_betweenness=edge_values,
+        message_log=result.message_log,
+    )
+
+
+def estimate_alpha_cfbc_distributed(
+    graph: Graph,
+    alpha: float = 0.8,
+    walks_per_source: int | None = None,
+    epsilon: float = 0.01,
+    seed: int | None = None,
+    **kwargs,
+) -> DistributedRWBCResult:
+    """Distributed alpha-current-flow betweenness (section II-C).
+
+    Runs the same protocol machinery as :func:`estimate_rwbc_distributed`
+    in damped mode: no absorbing target, hops survive with probability
+    ``alpha``, walks truncated at ``O(log(1/epsilon) / (1 - alpha))``
+    hops - realizing the section's ``O(log n / (1 - alpha))`` round
+    claim on the simulator.  Output convention matches
+    :func:`repro.baselines.alpha_cfbc.alpha_current_flow_betweenness`.
+    """
+    from repro.core.parameters import alpha_length, default_walks
+
+    if graph.num_nodes < 2:
+        raise GraphError("need at least 2 nodes")
+    if walks_per_source is None:
+        walks_per_source = default_walks(graph.num_nodes)
+    parameters = WalkParameters(
+        length=alpha_length(alpha, epsilon),
+        walks_per_source=walks_per_source,
+    )
+    return estimate_rwbc_distributed(
+        graph,
+        parameters,
+        seed=seed,
+        survival_alpha=alpha,
+        **kwargs,
+    )
+
+
+def _phase_breakdown(program, total_rounds: int) -> dict[str, int]:
+    """Split the run into setup / counting / exchange round counts."""
+    counting_start = program.counting_start_round
+    exchange_start = program.exchange_start_round
+    finish = program.finish_round
+    if None in (counting_start, exchange_start, finish):
+        raise GraphError("protocol finished without phase markers")
+    return {
+        "setup": counting_start,
+        "counting": exchange_start - counting_start,
+        "exchange": finish - exchange_start,
+        "total": total_rounds,
+    }

@@ -1,0 +1,116 @@
+"""Shared "potentials -> betweenness" arithmetic (Eqs. 5-8).
+
+Three different computations reduce to the same formula:
+
+* the exact solver, where the potential of node ``i`` for source ``s`` is
+  the grounded-inverse entry ``T[i, s]``;
+* the centralized Monte-Carlo estimator, where it is the degree-scaled
+  visit count ``xi_i^s / d(i)`` (an estimate of ``K * T[i, s]``);
+* each node of the distributed protocol, which knows its own and its
+  neighbors' count vectors after the exchange phase.
+
+For a node ``i`` with neighbor ``j`` and potential vectors ``p_i, p_j``
+(indexed by source), Eq. 6 sums ``|w_s - w_t|`` with ``w = p_i - p_j``
+over all pairs ``s < t`` avoiding ``i``; Eq. 7 adds one unit (scaled by
+the walk count ``K``) for each of the ``n - 1`` pairs with ``i`` as an
+endpoint; Eq. 8 normalizes by the number of pairs.
+
+The pair sum uses the classic sorting identity::
+
+    sum_{s<t} |w_s - w_t| = sum_k (2k - n + 1) * w_(k)
+
+(ascending ``w_(k)``, 0-indexed), turning an ``O(n^2)`` sum into
+``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.graphs.graph import GraphError
+
+
+def pair_sum_all(w: np.ndarray) -> float:
+    """``sum_{s<t} |w_s - w_t|`` over all index pairs, via sorting."""
+    n = w.shape[0]
+    if n < 2:
+        return 0.0
+    sorted_w = np.sort(w)
+    coefficients = 2.0 * np.arange(n) - (n - 1)
+    return float(sorted_w @ coefficients)
+
+
+def pair_sum_excluding(w: np.ndarray, excluded: int) -> float:
+    """``sum_{s<t, s != e, t != e} |w_s - w_t|``.
+
+    Computed as the full pair sum minus the ``n - 1`` pairs that involve
+    the excluded index.
+    """
+    return pair_sum_all(w) - float(np.abs(w - w[excluded]).sum())
+
+
+def node_raw_flow(
+    own_potential: np.ndarray,
+    neighbor_potentials: Iterable[np.ndarray],
+    own_index: int,
+) -> float:
+    """``sum_{s<t, not involving i} I_i^{(st)}`` in raw (un-normalized) units.
+
+    ``own_potential`` and each neighbor potential are length-``n`` vectors
+    indexed by source.  Implements the double sum of Eq. 6 aggregated over
+    all pairs: ``1/2 * sum_j sum_{s<t} |w_s - w_t|`` with
+    ``w = p_i - p_j``.
+    """
+    total = 0.0
+    for neighbor_potential in neighbor_potentials:
+        w = own_potential - neighbor_potential
+        total += pair_sum_excluding(w, own_index)
+    return 0.5 * total
+
+
+def betweenness_from_raw_flow(
+    raw_flow: float,
+    n: int,
+    scale: float = 1.0,
+    include_endpoints: bool = True,
+    normalized: bool = True,
+) -> float:
+    """Fold in the endpoint pairs (Eq. 7) and normalize (Eq. 8).
+
+    Parameters
+    ----------
+    raw_flow:
+        Output of :func:`node_raw_flow`.
+    n:
+        Number of nodes.
+    scale:
+        Units of ``raw_flow`` per pair: 1 for exact potentials, ``K`` for
+        Monte-Carlo counts over ``K`` walks (Algorithm 2 divides by
+        ``K n (n-1) / 2``).
+    include_endpoints:
+        Newman's definition (Eq. 7) counts a full unit for the ``n - 1``
+        pairs where the node is ``s`` or ``t``.  Disabling both the
+        endpoint credit and its share of the normalization reproduces the
+        networkx ``current_flow_betweenness_centrality`` convention.
+    normalized:
+        Divide by the pair count; ``False`` returns raw per-pair units
+        (still divided by ``scale``).
+    """
+    if n < 2:
+        raise GraphError("betweenness undefined for n < 2")
+    if scale <= 0:
+        raise GraphError("scale must be positive")
+    total = raw_flow
+    if include_endpoints:
+        total += (n - 1) * scale
+    if not normalized:
+        return total / scale
+    pairs = 0.5 * n * (n - 1) if include_endpoints else 0.5 * (n - 1) * (n - 2)
+    if pairs == 0:
+        raise GraphError(
+            "normalization undefined: no interior pairs for n = 2 without "
+            "endpoints"
+        )
+    return total / (pairs * scale)

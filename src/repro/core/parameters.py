@@ -1,0 +1,133 @@
+"""Choosing the walk length ``l`` and walk count ``K`` (Theorems 1 and 3).
+
+The paper proves ``l = O(n)`` suffices for a ``(1 - epsilon)``
+approximation (Theorem 1) and ``K = O(log n)`` walks per source give
+concentration w.h.p. (Theorem 3), but leaves the constants implicit (they
+depend on the spectral gap of ``M_t`` and the Chernoff slack).  This
+module provides:
+
+* simple default schedules ``l = c_l * n`` and ``K = c_K * log2 n`` used
+  by the estimators, and
+* the explicit Chernoff arithmetic of Theorem 3, so experiments can
+  relate a desired relative error ``delta`` and failure probability to a
+  concrete ``K``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class WalkParameters:
+    """The knobs of one estimation run.
+
+    Attributes
+    ----------
+    length:
+        Truncation length ``l`` of every walk.
+    walks_per_source:
+        ``K``.
+    """
+
+    length: int
+    walks_per_source: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise GraphError("walk length must be >= 1")
+        if self.walks_per_source < 1:
+            raise GraphError("walks_per_source must be >= 1")
+
+    @property
+    def total_walks_factor(self) -> int:
+        """``K * l``: per-source work, the driver of counting-phase time."""
+        return self.length * self.walks_per_source
+
+
+def default_length(n: int, factor: float = 3.0) -> int:
+    """Theorem 1 schedule ``l = c * n`` with a practical default constant."""
+    if n < 2:
+        raise GraphError("need n >= 2")
+    if factor <= 0:
+        raise GraphError("factor must be positive")
+    return max(2, math.ceil(factor * n))
+
+
+def default_walks(n: int, factor: float = 4.0) -> int:
+    """Theorem 3 schedule ``K = c * log2 n`` with a practical default."""
+    if n < 2:
+        raise GraphError("need n >= 2")
+    if factor <= 0:
+        raise GraphError("factor must be positive")
+    return max(4, math.ceil(factor * math.log2(n)))
+
+
+def default_parameters(
+    n: int, length_factor: float = 3.0, walks_factor: float = 4.0
+) -> WalkParameters:
+    """The ``(l, K)`` pair the estimators use unless told otherwise."""
+    return WalkParameters(
+        length=default_length(n, length_factor),
+        walks_per_source=default_walks(n, walks_factor),
+    )
+
+
+def alpha_length(alpha: float, epsilon: float = 0.01) -> int:
+    """Truncation length for damped (alpha-CFBC) walks.
+
+    A damped walk exceeds ``l`` hops with probability ``alpha^l``, so
+    ``l = ln(epsilon) / ln(alpha) ~ O(1 / (1 - alpha))`` caps the
+    truncated mass at ``epsilon`` - the section II-C length scale.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise GraphError("alpha must be in (0, 1)")
+    if not 0.0 < epsilon < 1.0:
+        raise GraphError("epsilon must be in (0, 1)")
+    return max(1, math.ceil(math.log(epsilon) / math.log(alpha)))
+
+
+def walks_for_concentration(
+    n: int,
+    delta: float,
+    expectation_constant: float = 1.0,
+    failure_exponent: float = 1.0,
+) -> int:
+    """Theorem 3's ``K``: two-sided Chernoff with relative error ``delta``.
+
+    With ``E[X] = c K`` (``c = expectation_constant``), requiring
+    ``2 exp(-delta^2 c K / 3) <= 2 n^{-failure_exponent}`` gives::
+
+        K >= 3 * failure_exponent * ln(n) / (c * delta^2)
+
+    Parameters mirror the proof; the default ``c = 1`` is conservative for
+    nodes a typical walk visits about once.
+    """
+    if n < 2:
+        raise GraphError("need n >= 2")
+    if not 0.0 < delta < 1.0:
+        raise GraphError("delta must be in (0, 1)")
+    if expectation_constant <= 0:
+        raise GraphError("expectation_constant must be positive")
+    if failure_exponent <= 0:
+        raise GraphError("failure_exponent must be positive")
+    k = 3.0 * failure_exponent * math.log(n) / (expectation_constant * delta**2)
+    return max(1, math.ceil(k))
+
+
+def chernoff_failure_bound(
+    k: int, delta: float, expectation_constant: float = 1.0
+) -> float:
+    """The two-sided Chernoff tail ``2 exp(-delta^2 c K / 3)``.
+
+    Used by the E4 experiment to plot the proven bound next to the
+    measured deviation frequency.
+    """
+    if k < 1:
+        raise GraphError("k must be >= 1")
+    if delta <= 0:
+        raise GraphError("delta must be positive")
+    return 2.0 * math.exp(-(delta**2) * expectation_constant * k / 3.0)

@@ -1,0 +1,405 @@
+"""The full distributed RWBC protocol as one phased CONGEST node program.
+
+Timeline (rounds; ``n``, ``K``, ``l`` are common knowledge per the
+paper's Algorithm 1 input):
+
+=================  ========================================================
+rounds             phase
+=================  ========================================================
+0 .. n             SETUP: flood-max leader election + BFS tree; the leader
+                   (a uniformly random node, since ranks are uniform) *is*
+                   the absorbing target ``t`` - implementing Algorithm 1
+                   line 2.  Round ``n`` announces parents.
+n + 1              tree finalized; nodes exchange degrees with neighbors
+                   (Algorithm 2 line 1 divides neighbor counts by
+                   *neighbor* degrees).
+n + 2              COUNTING starts: launch ``K`` walks per node
+                   (Algorithm 1 line 3) and begin walk forwarding.
+n + 2 .. R_end     COUNTING (Algorithm 1 lines 4-17): walk messages under
+                   the transport policy, plus the monotone death-counter
+                   convergecast.  When the root's counter reaches
+                   ``(n - 1) K`` it floods ``done(R_end)`` with
+                   ``R_end = detection + n + 2``, a common round safely
+                   after the wave reaches everyone.
+R_end .. R_end+n   EXCHANGE (Algorithm 2 line 2): in subround ``i`` every
+                   node sends its count for source ``i`` to all neighbors.
+R_end + n          local computation (Algorithm 2 lines 3-4) and halt.
+=================  ========================================================
+
+Node labels must be exactly ``0 .. n-1`` (the estimator relabels
+arbitrary graphs first); source ids double as count-vector indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+from repro.core.flow_math import betweenness_from_raw_flow, node_raw_flow
+from repro.core.termination import KIND_DONE, KIND_TERM, DeathCounterLogic
+from repro.core.walk_manager import (
+    KIND_WALK,
+    KIND_WALK_BATCH,
+    TransportPolicy,
+    WalkManager,
+)
+
+KIND_DEGREE = "deg"
+KIND_EXCHANGE = "xch"
+
+PHASE_SETUP = "setup"
+PHASE_COUNTING = "counting"
+PHASE_EXCHANGE = "exchange"
+PHASE_DONE = "done"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Distributed-run parameters shared by every node.
+
+    Attributes
+    ----------
+    length, walks_per_source:
+        The paper's ``l`` and ``K`` (Theorems 1 and 3).
+    policy:
+        Walk transport policy (see :mod:`repro.core.walk_manager`).
+    walk_budget:
+        Walk messages allowed per directed edge per round.
+    count_initial:
+        Count the launch position as a visit (Eq. 3's ``r = 0`` term).
+    include_endpoints, normalized:
+        Output convention (Newman defaults).
+    survival_alpha:
+        ``None`` runs the paper's absorbing-walk algorithm (RWBC).  A
+        value in (0, 1) runs the damped alpha-CFBC variant of section
+        II-C instead: no absorbing target, every hop survives with
+        probability alpha, and the output estimates the
+        alpha-current-flow betweenness.  Expected walk length drops to
+        ``1/(1 - alpha)``, which is where the section's
+        ``O(log n / (1 - alpha))`` round claim comes from.
+    split_sampling:
+        Tag each walk with a half-bit and carry two counts per source in
+        the exchange phase, enabling the noise-floor bias correction of
+        the E15 experiment (see :mod:`repro.core.bias`).  Costs one bit
+        per walk token and one extra integer per exchange message - both
+        still ``O(log n)``.  Requires even ``walks_per_source``.  Nodes
+        then also expose ``betweenness_debiased`` and ``noise_floor``.
+    """
+
+    length: int
+    walks_per_source: int
+    policy: TransportPolicy = TransportPolicy.QUEUE
+    walk_budget: int = 2
+    count_initial: bool = True
+    include_endpoints: bool = True
+    normalized: bool = True
+    survival_alpha: float | None = None
+    split_sampling: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ProtocolError("length must be >= 1")
+        if self.walks_per_source < 1:
+            raise ProtocolError("walks_per_source must be >= 1")
+        if self.walk_budget < 1:
+            raise ProtocolError("walk_budget must be >= 1")
+        if self.survival_alpha is not None and not (
+            0.0 < self.survival_alpha < 1.0
+        ):
+            raise ProtocolError("survival_alpha must be in (0, 1)")
+        if self.split_sampling and self.walks_per_source % 2 != 0:
+            raise ProtocolError(
+                "split_sampling requires an even walks_per_source"
+            )
+
+    @property
+    def launching_nodes(self) -> str:
+        """Documentation helper: who launches walks in this mode."""
+        return "all nodes" if self.survival_alpha is not None else "all but t"
+
+
+class RWBCNodeProgram(NodeProgram):
+    """One node of the distributed RWBC algorithm.
+
+    Outputs after the run: ``betweenness`` (this node's estimate),
+    ``counts`` (its ``xi`` vector), ``target`` (the elected absorbing
+    node), and the phase-boundary rounds ``counting_start_round`` /
+    ``exchange_start_round`` / ``finish_round`` for the complexity
+    experiments.
+    """
+
+    def __init__(
+        self, info: NodeInfo, rng: np.random.Generator, config: ProtocolConfig
+    ) -> None:
+        super().__init__(info, rng)
+        if not 0 <= info.node_id < info.n:
+            raise ProtocolError(
+                f"protocol requires labels 0..n-1, got {info.node_id}"
+            )
+        self.config = config
+        self.phase = PHASE_SETUP
+        rank = int(rng.integers(0, max(2, info.n) ** 3))
+        self._flood = FloodMaxBFS(info.node_id, rank)
+        self._tree: FloodMaxState | None = None
+        self._walks: WalkManager | None = None
+        self._death_counter: DeathCounterLogic | None = None
+        self._neighbor_degrees: dict[int, int] = {}
+        self._neighbor_counts: dict[int, np.ndarray] = {
+            neighbor: np.zeros((2, info.n), dtype=np.int64)
+            for neighbor in info.neighbors
+        }
+        self._exchange_start: int | None = None
+        # Outputs.
+        self.betweenness: float | None = None
+        self.betweenness_debiased: float | None = None
+        self.noise_floor: float | None = None
+        self.edge_betweenness: dict[int, float] = {}
+        self.counts: np.ndarray | None = None
+        self.target: int | None = None
+        self.counting_start_round: int | None = None
+        self.exchange_start_round: int | None = None
+        self.finish_round: int | None = None
+
+    # ------------------------------------------------------------------
+    # Round dispatch
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: RoundContext) -> None:
+        self._flood.start(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        if self.phase == PHASE_SETUP:
+            self._setup_round(ctx, inbox)
+        elif self.phase == PHASE_COUNTING:
+            self._counting_round(ctx, inbox)
+        elif self.phase == PHASE_EXCHANGE:
+            self._exchange_round(ctx, inbox)
+        else:  # PHASE_DONE: ignore stragglers (none are expected).
+            self.halt()
+
+    # ------------------------------------------------------------------
+    # Phase 1: setup (leader election, tree, degrees)
+    # ------------------------------------------------------------------
+    def _setup_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        n = self.info.n
+        r = ctx.round_number
+        if r <= n:
+            self._flood.step(ctx, inbox)
+            if r == n:
+                self._flood.announce_parent(ctx)
+            return
+        if r == n + 1:
+            self._tree = self._flood.finish(inbox)
+            self.target = self._tree.leader_id
+            ctx.broadcast(KIND_DEGREE, self.degree)
+            return
+        # r == n + 2: learn neighbor degrees, launch walks, start counting.
+        for message in inbox:
+            if message.kind == KIND_DEGREE:
+                (degree,) = message.fields
+                self._neighbor_degrees[message.sender] = degree
+        if len(self._neighbor_degrees) != self.degree:
+            raise ProtocolError(
+                f"node {self.node_id}: expected {self.degree} degree "
+                f"reports, got {len(self._neighbor_degrees)}"
+            )
+        self._walks = WalkManager(
+            node_id=self.node_id,
+            neighbors=self.neighbors,
+            n=n,
+            target=self.target,
+            walks_per_source=self.config.walks_per_source,
+            length=self.config.length,
+            rng=self.rng,
+            policy=self.config.policy,
+            walk_budget=self.config.walk_budget,
+            count_initial=self.config.count_initial,
+            survival_alpha=self.config.survival_alpha,
+            split_sampling=self.config.split_sampling,
+        )
+        # In damped mode every node launches K walks; in absorbing mode
+        # the target sits out (its walks would die at birth).
+        launchers = n if self.config.survival_alpha is not None else n - 1
+        self._death_counter = DeathCounterLogic(
+            node_id=self.node_id,
+            parent=self._tree.parent,
+            children=self._tree.children,
+            expected_total=launchers * self.config.walks_per_source,
+        )
+        self.phase = PHASE_COUNTING
+        self.counting_start_round = r
+        self._walks.launch()
+        self._death_counter.record_deaths(self._collect_immediate_deaths())
+        self._counting_sends(ctx)
+
+    def _collect_immediate_deaths(self) -> int:
+        """Deaths at launch time: none with length >= 1 (enforced), but
+        kept explicit so the accounting is visibly complete."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Phase 2: counting (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _counting_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        walks = self._walks
+        deaths_before = walks.deaths
+        done_round: int | None = None
+        for message in inbox:
+            if message.kind == KIND_WALK:
+                source, remaining, half = message.fields
+                walks.receive(source, remaining, half=half)
+            elif message.kind == KIND_WALK_BATCH:
+                source, remaining, half, count = message.fields
+                walks.receive(source, remaining, count, half=half)
+            elif message.kind == KIND_TERM:
+                (total,) = message.fields
+                self._death_counter.receive_report(message.sender, total)
+            elif message.kind == KIND_DONE:
+                (done_round,) = message.fields
+        self._death_counter.record_deaths(walks.deaths - deaths_before)
+
+        if done_round is None and self._death_counter.root_detects_completion:
+            # Root: schedule the common phase switch and start the wave.
+            done_round = ctx.round_number + self.info.n + 2
+        if done_round is not None:
+            self._begin_done_wave(ctx, done_round)
+            return
+        self._counting_sends(ctx)
+
+    def _counting_sends(self, ctx: RoundContext) -> None:
+        self._walks.send_round(ctx)
+        self._death_counter.maybe_report(ctx)
+
+    def _begin_done_wave(self, ctx: RoundContext, done_round: int) -> None:
+        self._exchange_start = done_round
+        self._death_counter.stop()
+        if self._walks.held_walks:
+            raise ProtocolError(
+                f"node {self.node_id} still holds walks at the done wave; "
+                "termination detection is broken"
+            )
+        for child in self._tree.children:
+            ctx.send(child, KIND_DONE, done_round)
+        self.phase = PHASE_EXCHANGE
+        self.exchange_start_round = done_round
+
+    # ------------------------------------------------------------------
+    # Phase 3: exchange (Algorithm 2) + local computation
+    # ------------------------------------------------------------------
+    def _exchange_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        n = self.info.n
+        r = ctx.round_number
+        for message in inbox:
+            if message.kind == KIND_EXCHANGE:
+                source, count_a, count_b = message.fields
+                self._neighbor_counts[message.sender][0, source] = count_a
+                self._neighbor_counts[message.sender][1, source] = count_b
+            elif message.kind in (KIND_TERM, KIND_DONE):
+                continue  # stragglers from the counting phase
+            elif message.kind in (KIND_WALK, KIND_WALK_BATCH):
+                raise ProtocolError(
+                    f"walk message arrived during exchange at node "
+                    f"{self.node_id}: termination detection is broken"
+                )
+        start = self._exchange_start
+        if start <= r < start + n:
+            source = r - start
+            ctx.broadcast(
+                KIND_EXCHANGE,
+                source,
+                int(self._walks.half_counts[0, source]),
+                int(self._walks.half_counts[1, source]),
+            )
+        elif r >= start + n:
+            self._finish(r)
+
+    def _finish(self, round_number: int) -> None:
+        n = self.info.n
+        self.counts = self._walks.counts.copy()
+        own_potential = self.counts / self.degree
+        neighbor_potentials = (
+            self._neighbor_counts[neighbor].sum(axis=0)
+            / self._neighbor_degrees[neighbor]
+            for neighbor in self.neighbors
+        )
+        raw = node_raw_flow(own_potential, neighbor_potentials, self.node_id)
+        # Free by-product of the exchange: each incident edge's
+        # current-flow betweenness, estimated from the same potentials
+        # (sum over all pairs; no exclusion - edges have no Eq. 7 term).
+        from repro.core.flow_math import pair_sum_all
+
+        pairs = 0.5 * n * (n - 1)
+        for neighbor in self.neighbors:
+            w = (
+                own_potential
+                - self._neighbor_counts[neighbor].sum(axis=0)
+                / self._neighbor_degrees[neighbor]
+            )
+            self.edge_betweenness[neighbor] = pair_sum_all(w) / (
+                pairs * self.config.walks_per_source
+            )
+        self.betweenness = betweenness_from_raw_flow(
+            raw,
+            n,
+            scale=float(self.config.walks_per_source),
+            include_endpoints=self.config.include_endpoints,
+            normalized=self.config.normalized,
+        )
+        if self.config.split_sampling:
+            self._finish_split(raw, n)
+        self.finish_round = round_number
+        self.phase = PHASE_DONE
+        self.halt()
+
+    def _finish_split(self, raw_signal: float, n: int) -> None:
+        """Noise-floor correction (repro.core.bias, distributed form).
+
+        The antithetic combination ``(A - B) / 2`` of the two walk
+        halves is distributed exactly like the estimator noise of
+        ``(A + B) / 2`` under a zero true difference, so its pair-sum
+        measures the bias floor of the plain estimate.
+        """
+        own_noise = (
+            self._walks.half_counts[0] - self._walks.half_counts[1]
+        ) / (2.0 * self.degree)
+        half_k = self.config.walks_per_source // 2
+        neighbor_noise = (
+            (
+                self._neighbor_counts[neighbor][0]
+                - self._neighbor_counts[neighbor][1]
+            )
+            / (2.0 * self._neighbor_degrees[neighbor])
+            for neighbor in self.neighbors
+        )
+        raw_noise = node_raw_flow(own_noise, neighbor_noise, self.node_id)
+        # The plain estimate uses scale K on summed counts; the noise
+        # pair-sum is built from half-count differences at scale K/2.
+        floor = betweenness_from_raw_flow(
+            raw_noise,
+            n,
+            scale=float(half_k),
+            include_endpoints=False,
+            normalized=False,
+        )
+        if self.config.normalized:
+            pairs = (
+                0.5 * n * (n - 1)
+                if self.config.include_endpoints
+                else 0.5 * (n - 1) * (n - 2)
+            )
+            floor /= pairs
+        self.noise_floor = floor
+        self.betweenness_debiased = self.betweenness - floor
+
+
+def make_protocol_factory(config: ProtocolConfig):
+    """Program factory binding one :class:`ProtocolConfig`."""
+
+    def factory(info: NodeInfo, rng: np.random.Generator) -> RWBCNodeProgram:
+        return RWBCNodeProgram(info, rng, config)
+
+    return factory

@@ -1,0 +1,65 @@
+"""Result records for distributed runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.metrics import RunMetrics
+from repro.core.parameters import WalkParameters
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class DistributedRWBCResult:
+    """Output of one distributed protocol run.
+
+    Attributes
+    ----------
+    betweenness:
+        Node label -> estimated RWBC.
+    target:
+        The elected absorbing node (in original labels).
+    parameters:
+        The ``(l, K)`` used.
+    metrics:
+        Round/message/bit accounting from the simulator.
+    phase_rounds:
+        Rounds spent in each protocol phase - the observable of the
+        Lemma 2 / Lemma 3 / Theorem 5 experiments.
+    counts:
+        Node label -> its raw ``xi`` count vector (by source id in the
+        relabeled 0..n-1 space).
+    betweenness_debiased, noise_floor:
+        Present only for split-sampling runs: the noise-floor-corrected
+        estimates and the measured floor itself (see repro.core.bias).
+    edge_betweenness:
+        ``(u, v) -> estimated edge current-flow betweenness`` for every
+        edge, a free by-product of the exchange phase (each endpoint
+        computes it locally; the result averages the two, which are
+        equal up to float noise).
+    """
+
+    betweenness: dict
+    target: object
+    parameters: WalkParameters
+    metrics: RunMetrics
+    phase_rounds: dict[str, int]
+    counts: dict
+    betweenness_debiased: dict | None = None
+    noise_floor: dict | None = None
+    edge_betweenness: dict | None = None
+    # Full per-round message log (relabeled node ids); populated only
+    # when the run was started with record_messages=True.
+    message_log: list = None
+
+    def as_array(self, graph: Graph) -> np.ndarray:
+        """Estimates in the graph's canonical node order."""
+        return np.array(
+            [self.betweenness[node] for node in graph.canonical_order()]
+        )
+
+    @property
+    def total_rounds(self) -> int:
+        return self.metrics.rounds

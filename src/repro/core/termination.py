@@ -1,0 +1,87 @@
+"""Distributed termination detection for the counting phase.
+
+Every launched walk eventually dies exactly once - absorbed at the target
+or expired at length 0 - and deaths are local events.  With ``n`` and
+``K`` known, the expected global death count is ``(n - 1) * K``, so the
+root can detect termination by aggregating a *monotone* counter:
+
+* each node tracks its local death count and the latest value reported by
+  each tree child;
+* whenever its best-known subtree total changes, it reports the new total
+  to its parent (at most one ``O(log n)``-bit message per tree edge per
+  round);
+* because the counter only grows and every death is counted by exactly
+  one node, the root's view is always a lower bound, and equality with
+  ``(n - 1) * K`` certifies that every walk is dead *and* every count
+  message has drained.
+
+The root then floods a ``done`` message carrying a common future round
+number at which all nodes switch to the exchange phase in lockstep.
+"""
+
+from __future__ import annotations
+
+from repro.congest.errors import ProtocolError
+from repro.congest.node import RoundContext
+
+KIND_TERM = "term"
+KIND_DONE = "done"
+
+
+class DeathCounterLogic:
+    """Embeddable monotone-counter convergecast for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        parent: int | None,
+        children: tuple[int, ...],
+        expected_total: int,
+    ) -> None:
+        if expected_total < 0:
+            raise ProtocolError("expected_total must be >= 0")
+        self.node_id = node_id
+        self.parent = parent
+        self.children = children
+        self.expected_total = expected_total
+        self.local_deaths = 0
+        self._child_totals: dict[int, int] = {child: 0 for child in children}
+        self._last_reported = -1
+        self.stopped = False
+
+    def record_deaths(self, count: int) -> None:
+        if count < 0:
+            raise ProtocolError("death count must be >= 0")
+        self.local_deaths += count
+
+    def receive_report(self, child: int, total: int) -> None:
+        """Fold in a child's subtree total (monotone: keep the max)."""
+        if child not in self._child_totals:
+            raise ProtocolError(
+                f"termination report from non-child {child} at "
+                f"node {self.node_id}"
+            )
+        if total > self._child_totals[child]:
+            self._child_totals[child] = total
+
+    @property
+    def subtree_total(self) -> int:
+        return self.local_deaths + sum(self._child_totals.values())
+
+    def maybe_report(self, ctx: RoundContext) -> None:
+        """Send the subtree total to the parent if it changed."""
+        if self.stopped or self.parent is None:
+            return
+        total = self.subtree_total
+        if total > self._last_reported:
+            self._last_reported = total
+            ctx.send(self.parent, KIND_TERM, total)
+
+    @property
+    def root_detects_completion(self) -> bool:
+        """True at the root when the global counter has fully drained."""
+        return self.parent is None and self.subtree_total >= self.expected_total
+
+    def stop(self) -> None:
+        """Cease reporting (called once the done wave arrives)."""
+        self.stopped = True

@@ -1,0 +1,274 @@
+"""The paper's "trivial algorithm": collect the graph, compute exactly.
+
+Section I: "asking a designated node to collect all the other nodes'
+neighbors information and then letting the node calculate the
+betweenness centrality values locally ... needs O(m) time under the
+CONGEST model."  This module implements that algorithm for real, so the
+E9 crossover experiment compares *measured* round counts instead of a
+model:
+
+1. leader election + BFS tree (n + 2 rounds, shared with the main
+   protocol);
+2. edge collection: every node reports its incident edges up the tree,
+   pipelined one report per tree edge per round, with a drained-subtree
+   convergecast for termination - Theta(m) rounds on the root's
+   bottleneck link;
+3. the leader rebuilds the graph, runs the exact solver locally (local
+   computation is free in CONGEST), and floods each node's value back
+   down the tree in fixed point (values are floats; the transport is
+   integer-only, so values ride as ``round(b * 2^SCALE)``) - Theta(n)
+   rounds, pipelined.
+
+Exactness is limited only by the fixed-point resolution (2^-20), which
+the tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Message
+from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+from repro.graphs.graph import Graph, GraphError
+
+KIND_EDGE = "tedge"
+KIND_DRAINED = "tdrain"
+KIND_VALUE = "tval"
+KIND_END = "tend"
+
+SCALE_BITS = 20
+SCALE = 1 << SCALE_BITS
+
+PHASE_SETUP = "setup"
+PHASE_COLLECT = "collect"
+PHASE_VALUES = "values"
+PHASE_DONE = "done"
+
+
+class CollectAllProgram(NodeProgram):
+    """One node of the trivial exact algorithm.
+
+    Outputs: ``betweenness`` (fixed-point exact value), ``target``
+    (the leader/computing node), and phase markers for round accounting:
+    ``collect_rounds``, ``value_rounds``.
+    """
+
+    def __init__(
+        self,
+        info: NodeInfo,
+        rng: np.random.Generator,
+        include_endpoints: bool = True,
+    ) -> None:
+        super().__init__(info, rng)
+        if not 0 <= info.node_id < info.n:
+            raise ProtocolError("labels must be 0..n-1")
+        self.include_endpoints = include_endpoints
+        self.phase = PHASE_SETUP
+        rank = int(rng.integers(0, max(2, info.n) ** 3))
+        self._flood = FloodMaxBFS(info.node_id, rank)
+        self._tree: FloodMaxState | None = None
+        # Edge reports waiting to go to the parent.
+        self._report_queue: deque[tuple[int, int]] = deque()
+        self._children_drained: set[int] = set()
+        self._drained_sent = False
+        # Leader-side state.
+        self._collected: set[tuple[int, int]] = set()
+        self._value_queue: deque[tuple[int, int]] = deque()
+        self._end_received = False
+        # Outputs.
+        self.betweenness: float | None = None
+        self.target: int | None = None
+        self.collect_start: int | None = None
+        self.values_start: int | None = None
+        self.finish_round: int | None = None
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: RoundContext) -> None:
+        self._flood.start(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        if self.phase == PHASE_SETUP:
+            self._setup_round(ctx, inbox)
+        elif self.phase == PHASE_COLLECT:
+            self._collect_round(ctx, inbox)
+        elif self.phase == PHASE_VALUES:
+            self._values_round(ctx, inbox)
+        else:
+            self.halt()
+
+    # ------------------------------------------------------------------
+    def _setup_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        n = self.info.n
+        r = ctx.round_number
+        if r <= n:
+            self._flood.step(ctx, inbox)
+            if r == n:
+                self._flood.announce_parent(ctx)
+            return
+        # r == n + 1: finalize the tree; queue own edge reports.
+        self._tree = self._flood.finish(inbox)
+        self.target = self._tree.leader_id
+        for neighbor in self.neighbors:
+            if self.node_id < neighbor:
+                self._report_queue.append((self.node_id, neighbor))
+        self.phase = PHASE_COLLECT
+        self.collect_start = r
+        self._collect_sends(ctx)
+
+    # ------------------------------------------------------------------
+    def _collect_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        value_phase_started = False
+        for message in inbox:
+            if message.kind == KIND_EDGE:
+                u, v = message.fields
+                if self._is_leader:
+                    self._collected.add((u, v))
+                else:
+                    self._report_queue.append((u, v))
+            elif message.kind == KIND_DRAINED:
+                self._children_drained.add(message.sender)
+            elif message.kind in (KIND_VALUE, KIND_END):
+                value_phase_started = True
+        if value_phase_started:
+            # The leader finished collecting and started flooding values.
+            self.phase = PHASE_VALUES
+            self.values_start = ctx.round_number
+            self._values_round(ctx, inbox)
+            return
+        if self._is_leader and self._children_drained == set(
+            self._tree.children
+        ):
+            self._begin_values(ctx)
+            return
+        self._collect_sends(ctx)
+
+    @property
+    def _is_leader(self) -> bool:
+        return self._tree is not None and self._tree.parent is None
+
+    def _collect_sends(self, ctx: RoundContext) -> None:
+        if self._is_leader:
+            return
+        parent = self._tree.parent
+        if self._report_queue:
+            u, v = self._report_queue.popleft()
+            ctx.send(parent, KIND_EDGE, u, v)
+        elif (
+            not self._drained_sent
+            and self._children_drained == set(self._tree.children)
+        ):
+            # Subtree drained: every child reported drained and the local
+            # queue is empty.  (FIFO order on the parent link guarantees
+            # all our edge reports precede this marker.)
+            ctx.send(parent, KIND_DRAINED)
+            self._drained_sent = True
+
+    # ------------------------------------------------------------------
+    def _begin_values(self, ctx: RoundContext) -> None:
+        """Leader: rebuild the graph, solve exactly, queue the answers."""
+        from repro.core.exact import rwbc_exact
+
+        # The leader's own incident edges never crossed the wire.
+        for neighbor in self.neighbors:
+            self._collected.add(
+                (min(self.node_id, neighbor), max(self.node_id, neighbor))
+            )
+        graph = Graph(nodes=range(self.info.n))
+        for u, v in self._collected:
+            graph.add_edge(u, v)
+        values = rwbc_exact(
+            graph,
+            target=self.node_id,
+            include_endpoints=self.include_endpoints,
+        )
+        for node in range(self.info.n):
+            scaled = int(round(values[node] * SCALE))
+            if node == self.node_id:
+                self.betweenness = scaled / SCALE
+            else:
+                self._value_queue.append((node, scaled))
+        self.phase = PHASE_VALUES
+        self.values_start = ctx.round_number
+        self._values_round(ctx, [])
+
+    def _values_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.kind == KIND_VALUE:
+                node, scaled = message.fields
+                if node == self.node_id:
+                    self.betweenness = scaled / SCALE
+                else:
+                    self._value_queue.append((node, scaled))
+            elif message.kind == KIND_END:
+                self._end_received = True
+            # EDGE / DRAINED stragglers cannot occur (the leader starts
+            # this phase only after every subtree drained) but would be
+            # harmless if they did.
+        if self._value_queue:
+            # Pipelined flood: one value per tree edge per round.
+            node, scaled = self._value_queue.popleft()
+            for child in self._tree.children:
+                ctx.send(child, KIND_VALUE, node, scaled)
+            return
+        if self._is_leader or self._end_received:
+            # Queue flushed and (for non-leaders) the end marker has
+            # arrived behind the last value on the FIFO parent link.
+            for child in self._tree.children:
+                ctx.send(child, KIND_END)
+            self.finish_round = ctx.round_number
+            self.phase = PHASE_DONE
+            self.halt()
+
+
+def make_trivial_factory(include_endpoints: bool = True):
+    def factory(info: NodeInfo, rng: np.random.Generator):
+        return CollectAllProgram(info, rng, include_endpoints)
+
+    return factory
+
+
+@dataclass(frozen=True)
+class TrivialResult:
+    betweenness: dict
+    target: object
+    rounds: int
+    total_messages: int
+
+
+def trivial_collect_all(
+    graph: Graph,
+    seed: int | None = None,
+    include_endpoints: bool = True,
+) -> TrivialResult:
+    """Run the collect-all algorithm; exact values, Theta(m + n) rounds."""
+    from repro.congest.scheduler import Simulator
+    from repro.congest.transport import BandwidthPolicy
+
+    if graph.num_nodes < 2:
+        raise GraphError("need >= 2 nodes")
+    relabeled, mapping = graph.relabeled()
+    inverse = {index: node for node, index in mapping.items()}
+    policy = BandwidthPolicy(n=relabeled.num_nodes, messages_per_edge=4)
+    result = Simulator(
+        relabeled,
+        make_trivial_factory(include_endpoints),
+        policy=policy,
+        seed=seed,
+        max_rounds=100 * (relabeled.num_edges + relabeled.num_nodes) + 1000,
+    ).run()
+    betweenness = {
+        inverse[index]: result.program(index).betweenness
+        for index in range(relabeled.num_nodes)
+    }
+    target = inverse[result.program(0).target]
+    return TrivialResult(
+        betweenness=betweenness,
+        target=target,
+        rounds=result.metrics.rounds,
+        total_messages=result.metrics.total_messages,
+    )

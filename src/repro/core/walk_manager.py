@@ -1,0 +1,240 @@
+"""Per-node walk bookkeeping for the counting phase (Algorithm 1).
+
+Each node owns a :class:`WalkManager` that:
+
+* launches the node's ``K`` walks,
+* processes walk arrivals (count the visit, absorb at the target, expire
+  at length 0, otherwise pick the next hop uniformly at random *at
+  enqueue time* and queue the token on that edge),
+* emits at most ``walk_budget`` walk messages per outgoing edge per round
+  (the CONGEST constraint), under one of two policies:
+
+  - ``QUEUE``: tokens are sent individually; excess tokens wait in FIFO
+    order on their chosen edge (never re-rolling the choice - re-rolling
+    would bias hops toward uncongested edges and break uniformity);
+  - ``BATCH``: tokens on the same edge with identical ``(source,
+    remaining)`` fields are coalesced into one counted message, which is
+    still ``O(log n)`` bits.
+
+The paper's line 6 ("if there is more than one random walk needed to be
+sent to v, just send a random walk to v randomly") is ambiguous between
+these readings; both are implemented and compared in experiment E12.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+import numpy as np
+
+from repro.congest.errors import ProtocolError
+from repro.congest.node import RoundContext
+
+KIND_WALK = "walk"
+KIND_WALK_BATCH = "walkb"
+
+
+class TransportPolicy(enum.Enum):
+    """How queued walk tokens map onto messages."""
+
+    QUEUE = "queue"
+    BATCH = "batch"
+
+
+class WalkManager:
+    """Walk queues, visit counts, and death accounting for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        n: int,
+        target: int,
+        walks_per_source: int,
+        length: int,
+        rng: np.random.Generator,
+        policy: TransportPolicy = TransportPolicy.QUEUE,
+        walk_budget: int = 2,
+        count_initial: bool = True,
+        survival_alpha: float | None = None,
+        split_sampling: bool = False,
+    ) -> None:
+        """``survival_alpha``: when set, walks are *damped* instead of
+        absorbed - every hop succeeds only with probability alpha (the
+        alpha-current-flow semantics of section II-C), every node
+        (including the nominal target) launches walks, and arrivals at
+        the target are ordinary visits.
+
+        ``split_sampling``: tag each walk with a half-bit (A/B) and keep
+        two count vectors, enabling the noise-floor bias correction of
+        :mod:`repro.core.bias` at the cost of one extra bit per token.
+        """
+        if walk_budget < 1:
+            raise ProtocolError("walk_budget must be >= 1")
+        if length < 1:
+            raise ProtocolError("walk length must be >= 1")
+        if survival_alpha is not None and not 0.0 < survival_alpha < 1.0:
+            raise ProtocolError("survival_alpha must be in (0, 1)")
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.n = n
+        self.target = target
+        self.walks_per_source = walks_per_source
+        self.length = length
+        self.rng = rng
+        self.policy = policy
+        self.walk_budget = walk_budget
+        self.count_initial = count_initial
+        self.survival_alpha = survival_alpha
+        self.split_sampling = split_sampling
+        if split_sampling and walks_per_source % 2 != 0:
+            raise ProtocolError(
+                "split sampling needs an even walks_per_source"
+            )
+        # xi_v^s of Algorithm 1, indexed by source id (labels are 0..n-1);
+        # in split mode, one row per half (A = 0, B = 1).
+        self.half_counts = np.zeros((2, n), dtype=np.int64)
+        self.deaths = 0
+        # One FIFO of (source, remaining_here, half) tokens per edge.
+        self._queues: dict[int, deque[tuple[int, int, int]]] = {
+            neighbor: deque() for neighbor in neighbors
+        }
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Total visit counts (both halves combined)."""
+        return self.half_counts.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    # Walk lifecycle
+    # ------------------------------------------------------------------
+    def launch(self) -> None:
+        """Start this node's ``K`` walks (line 3 of Algorithm 1).
+
+        In absorbing mode the target launches nothing: its walks would be
+        absorbed at birth and contribute the all-zero column ``T[:, t]``.
+        In damped (alpha) mode there is no absorbing node, so every node
+        launches.
+        """
+        if self.survival_alpha is None and self.node_id == self.target:
+            return
+        for walk_index in range(self.walks_per_source):
+            half = (
+                walk_index % 2 if self.split_sampling else 0
+            )
+            if self.count_initial:
+                self.half_counts[half, self.node_id] += 1
+            self._enqueue(self.node_id, self.length, half)
+
+    def _enqueue(self, source: int, remaining_here: int, half: int) -> None:
+        """Choose the next hop uniformly now; the choice is final."""
+        neighbor = self.neighbors[int(self.rng.integers(len(self.neighbors)))]
+        self._queues[neighbor].append((source, remaining_here, half))
+
+    def _enqueue_bulk(
+        self, source: int, remaining_here: int, half: int, count: int
+    ) -> None:
+        """Enqueue ``count`` i.i.d. tokens via one multinomial draw."""
+        d = len(self.neighbors)
+        allocation = self.rng.multinomial(count, np.full(d, 1.0 / d))
+        for neighbor, tokens in zip(self.neighbors, allocation):
+            for _ in range(int(tokens)):
+                self._queues[neighbor].append((source, remaining_here, half))
+
+    def receive(
+        self, source: int, remaining: int, count: int = 1, half: int = 0
+    ) -> None:
+        """Process ``count`` arriving walk tokens (lines 7-15).
+
+        ``remaining`` is the hop budget left *from this node*.  In damped
+        mode each arriving token first survives its hop with probability
+        alpha (binomial thinning of batches); dead tokens neither count
+        the visit nor continue - matching the ``sum_r (alpha M)^r``
+        series the alpha-CFBC potentials are built from.
+        """
+        if count < 1:
+            raise ProtocolError("walk arrival count must be >= 1")
+        if half not in (0, 1):
+            raise ProtocolError("walk half tag must be 0 or 1")
+        if self.survival_alpha is not None:
+            survivors = int(self.rng.binomial(count, self.survival_alpha))
+            self.deaths += count - survivors
+            count = survivors
+            if count == 0:
+                return
+        elif self.node_id == self.target:
+            # Absorbed; by Eq. 3's removed row, absorption is not a visit.
+            self.deaths += count
+            return
+        self.half_counts[half, source] += count
+        if remaining == 0:
+            self.deaths += count
+            return
+        if count == 1:
+            self._enqueue(source, remaining, half)
+        else:
+            self._enqueue_bulk(source, remaining, half, count)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_round(self, ctx: RoundContext) -> int:
+        """Emit up to ``walk_budget`` walk messages per edge; return the
+        number of messages sent."""
+        sent = 0
+        for neighbor in self.neighbors:
+            queue = self._queues[neighbor]
+            if not queue:
+                continue
+            if self.policy is TransportPolicy.QUEUE:
+                sent += self._send_queue(ctx, neighbor, queue)
+            else:
+                sent += self._send_batch(ctx, neighbor, queue)
+        return sent
+
+    def _send_queue(self, ctx, neighbor, queue) -> int:
+        sent = 0
+        while queue and sent < self.walk_budget:
+            source, remaining_here, half = queue.popleft()
+            ctx.send(neighbor, KIND_WALK, source, remaining_here - 1, half)
+            sent += 1
+        return sent
+
+    def _send_batch(self, ctx, neighbor, queue) -> int:
+        sent = 0
+        while queue and sent < self.walk_budget:
+            # Coalesce every queued token matching the head's fields.
+            head = queue[0]
+            count = 0
+            kept: deque[tuple[int, int, int]] = deque()
+            while queue:
+                token = queue.popleft()
+                if token == head:
+                    count += 1
+                else:
+                    kept.append(token)
+            self._queues[neighbor] = queue = kept
+            source, remaining_here, half = head
+            ctx.send(
+                neighbor,
+                KIND_WALK_BATCH,
+                source,
+                remaining_here - 1,
+                half,
+                count,
+            )
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def held_walks(self) -> int:
+        """Tokens currently queued at this node."""
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def idle(self) -> bool:
+        return self.held_walks == 0

@@ -1,0 +1,27 @@
+"""The experiment harness shared by benchmarks/ and EXPERIMENTS.md.
+
+``workloads`` names the graphs, ``runner`` executes one experiment,
+``sweep`` runs parameter grids, ``report`` renders the tables the
+benchmark suite prints.
+"""
+
+from repro.experiments.report import format_table, render_records
+from repro.experiments.runner import (
+    accuracy_row,
+    distributed_run_row,
+    related_measures_row,
+)
+from repro.experiments.sweep import sweep
+from repro.experiments.workloads import WORKLOADS, Workload, make_workload
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "accuracy_row",
+    "distributed_run_row",
+    "format_table",
+    "make_workload",
+    "related_measures_row",
+    "render_records",
+    "sweep",
+]

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graphs.graph import GraphError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(records: list[dict], columns: list[str] | None = None) -> str:
+    """Render records as an aligned monospace table."""
+    if not records:
+        raise GraphError("no records to format")
+    if columns is None:
+        columns = list(records[0])
+    rows = [
+        [_format_cell(record.get(column, "")) for column in columns]
+        for record in records
+    ]
+    widths = [
+        max(len(column), *(len(row[i]) for row in rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(
+        column.ljust(width) for column, width in zip(columns, widths)
+    )
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rows
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def render_records(
+    title: str, records: list[dict], columns: list[str] | None = None
+) -> str:
+    """A titled table block, printed by every benchmark."""
+    table = format_table(records, columns)
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}\n{table}\n"
+
+
+def series(records: Iterable[dict], x: str, y: str) -> list[tuple]:
+    """Extract an (x, y) series from records (figure regeneration)."""
+    points = [(record[x], record[y]) for record in records]
+    if not points:
+        raise GraphError("no records for series")
+    return points

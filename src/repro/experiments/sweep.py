@@ -1,0 +1,31 @@
+"""Parameter sweeps: run one row-producer over a grid."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.graphs.graph import GraphError
+
+
+def sweep(
+    row_function: Callable[..., dict],
+    grid: Iterable[dict],
+    **common,
+) -> list[dict]:
+    """Run ``row_function(**point, **common)`` for every grid point.
+
+    Each grid point is a dict of keyword arguments; results are returned
+    in grid order with the grid point's scalar values merged in (so the
+    output rows are self-describing even if the row function does not
+    echo them).
+    """
+    rows = []
+    for point in grid:
+        if not isinstance(point, dict):
+            raise GraphError("grid points must be dicts of kwargs")
+        row = row_function(**point, **common)
+        for key, value in point.items():
+            if key not in row and isinstance(value, (int, float, str)):
+                row[key] = value
+        rows.append(row)
+    return rows

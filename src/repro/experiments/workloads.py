@@ -1,0 +1,130 @@
+"""Named, seeded graph workloads for the experiment suite.
+
+Families were chosen to span the regimes the paper's analysis depends on
+(see DESIGN.md section 2): expanders (fast absorption - the friendly
+case for Theorem 1), high-diameter lattices and rings (slow absorption -
+the adversarial case), heavy-tailed BA graphs (congestion hot spots for
+the transport policies), and the Fig. 1 community topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    barbell_graph,
+    caveman_pair_graph,
+    caveman_ring_graph,
+    complete_graph,
+    connectivity_threshold_p,
+    cycle_graph,
+    erdos_renyi_graph,
+    fig1_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz_graph,
+    wheel_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named reproducible graph instance."""
+
+    name: str
+    family: str
+    n: int
+    graph: Graph
+    seed: int
+
+    @property
+    def m(self) -> int:
+        return self.graph.num_edges
+
+
+_BUILDERS: dict[str, Callable[[int, int], Graph]] = {
+    "er": lambda n, seed: erdos_renyi_graph(
+        n,
+        max(connectivity_threshold_p(n, margin=2.0), 8.0 / max(1, n)),
+        seed=seed,
+        ensure_connected=True,
+    ),
+    "ba": lambda n, seed: barabasi_albert_graph(n, 3, seed=seed),
+    "ws": lambda n, seed: watts_strogatz_graph(n, 4, 0.1, seed=seed),
+    "regular": lambda n, seed: random_regular_graph(
+        n if (n * 4) % 2 == 0 else n + 1, 4, seed=seed
+    ),
+    "cycle": lambda n, seed: cycle_graph(n),
+    "path": lambda n, seed: path_graph(n),
+    "grid": lambda n, seed: grid_graph(
+        max(2, int(round(n**0.5))), max(2, int(round(n**0.5)))
+    ),
+    "tree": lambda n, seed: random_tree(n, seed=seed),
+    "star": lambda n, seed: star_graph(n),
+    "wheel": lambda n, seed: wheel_graph(max(4, n)),
+    "lollipop": lambda n, seed: lollipop_graph(max(3, n // 2), n - max(3, n // 2)),
+    "hypercube": lambda n, seed: hypercube_graph(
+        max(2, int(round(math.log2(max(4, n)))))
+    ),
+    "plc": lambda n, seed: powerlaw_cluster_graph(n, 3, 0.4, seed=seed)
+    if n > 4
+    else complete_graph(n),
+    "cavering": lambda n, seed: caveman_ring_graph(
+        max(3, n // 4), max(3, n // max(3, n // 4))
+    ),
+    "barbell": lambda n, seed: barbell_graph(max(3, n // 2), n - 2 * max(3, n // 2)),
+    "caveman": lambda n, seed: caveman_pair_graph(max(3, n // 2), bridges=1, seed=seed),
+    "fig1": lambda n, seed: fig1_graph(group_size=max(2, (n - 5) // 2)),
+}
+
+FAMILIES = tuple(sorted(_BUILDERS))
+
+# The default battery used by the accuracy benchmarks.
+WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("er", 30),
+    ("ba", 30),
+    ("ws", 30),
+    ("cycle", 24),
+    ("grid", 25),
+    ("tree", 24),
+    ("barbell", 20),
+    ("fig1", 14),
+)
+
+
+def make_workload(family: str, n: int, seed: int = 0) -> Workload:
+    """Instantiate one named workload.
+
+    Note that some families adjust ``n`` to satisfy structural
+    constraints (grids square it, regular graphs need ``n*d`` even); the
+    returned :class:`Workload` reports the actual size.
+    """
+    if family not in _BUILDERS:
+        raise GraphError(
+            f"unknown family {family!r}; choose from {FAMILIES}"
+        )
+    if n < 2:
+        raise GraphError("workloads need n >= 2")
+    graph = _BUILDERS[family](n, seed)
+    return Workload(
+        name=f"{family}-{graph.num_nodes}",
+        family=family,
+        n=graph.num_nodes,
+        graph=graph,
+        seed=seed,
+    )
+
+
+def default_battery(seed: int = 0) -> list[Workload]:
+    """The standard list of workloads the benchmarks iterate."""
+    return [make_workload(family, n, seed=seed) for family, n in WORKLOADS]

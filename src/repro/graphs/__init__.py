@@ -1,0 +1,78 @@
+"""Graph substrate: data structure, generators, properties, and I/O.
+
+This subpackage provides the undirected-graph foundation every other part
+of the library builds on.  The :class:`~repro.graphs.graph.Graph` class is a
+small, explicit adjacency-set structure (no external dependency); converters
+to and from :mod:`networkx` live in :mod:`repro.graphs.convert`.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    barbell_graph,
+    caveman_pair_graph,
+    caveman_ring_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    fig1_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz_graph,
+    wheel_graph,
+)
+from repro.graphs.datasets import (
+    florentine_families,
+    karate_club,
+    les_miserables,
+    load_dataset,
+)
+from repro.graphs.lowerbound_graph import LowerBoundGraph, build_lower_bound_graph
+from repro.graphs.properties import (
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricities,
+    is_connected,
+)
+
+__all__ = [
+    "Graph",
+    "barabasi_albert_graph",
+    "barbell_graph",
+    "caveman_pair_graph",
+    "caveman_ring_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "fig1_graph",
+    "florentine_families",
+    "grid_graph",
+    "hypercube_graph",
+    "karate_club",
+    "les_miserables",
+    "load_dataset",
+    "lollipop_graph",
+    "path_graph",
+    "powerlaw_cluster_graph",
+    "random_regular_graph",
+    "random_tree",
+    "star_graph",
+    "watts_strogatz_graph",
+    "wheel_graph",
+    "LowerBoundGraph",
+    "build_lower_bound_graph",
+    "connected_components",
+    "degree_histogram",
+    "diameter",
+    "eccentricities",
+    "is_connected",
+]

@@ -1,0 +1,528 @@
+"""Graph generators for workloads and tests.
+
+All generators return :class:`repro.graphs.graph.Graph` instances with
+integer node labels ``0..n-1`` and accept an explicit ``seed`` (or
+``numpy.random.Generator``) where randomness is involved, so that every
+experiment in the benchmark harness is reproducible.
+
+The families were chosen to span the structural regimes the paper's proofs
+depend on: high-diameter graphs (paths, cycles, grids) where walk truncation
+bites hardest, expanders (random regular, dense ER) where absorption is
+fast, heavy-tailed graphs (Barabasi-Albert), and the two-community bridge
+topology of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic families
+# ---------------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise GraphError("path_graph requires n >= 1")
+    graph = Graph(nodes=range(n))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    if n < 1:
+        raise GraphError("complete_graph requires n >= 1")
+    graph = Graph(nodes=range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """A star: hub ``0`` joined to leaves ``1..n-1``."""
+    if n < 2:
+        raise GraphError("star_graph requires n >= 2")
+    graph = Graph(nodes=range(n))
+    for leaf in range(1, n):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def wheel_graph(n: int) -> Graph:
+    """A wheel: hub ``0`` joined to a cycle on ``1..n-1``."""
+    if n < 4:
+        raise GraphError("wheel_graph requires n >= 4")
+    graph = star_graph(n)
+    rim = list(range(1, n))
+    for i, u in enumerate(rim):
+        graph.add_edge(u, rim[(i + 1) % len(rim)])
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` 2-D lattice with node ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_graph requires rows, cols >= 1")
+    graph = Graph(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two ``K_clique_size`` cliques joined by a path of ``path_length`` nodes.
+
+    A classic worst case for walk-based methods: the bridge path carries
+    all cross-community traffic.
+    """
+    if clique_size < 3:
+        raise GraphError("barbell_graph requires clique_size >= 3")
+    if path_length < 0:
+        raise GraphError("barbell_graph requires path_length >= 0")
+    graph = Graph()
+    left = list(range(clique_size))
+    bridge = list(range(clique_size, clique_size + path_length))
+    right = list(
+        range(clique_size + path_length, 2 * clique_size + path_length)
+    )
+    for u, v in itertools.combinations(left, 2):
+        graph.add_edge(u, v)
+    for u, v in itertools.combinations(right, 2):
+        graph.add_edge(u, v)
+    chain = [left[-1], *bridge, right[0]]
+    for u, v in zip(chain, chain[1:]):
+        graph.add_edge(u, v)
+    return graph
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """A clique with a pendant path (``path_length`` extra nodes)."""
+    if clique_size < 3:
+        raise GraphError("lollipop_graph requires clique_size >= 3")
+    if path_length < 0:
+        raise GraphError("lollipop_graph requires path_length >= 0")
+    graph = complete_graph(clique_size)
+    previous = clique_size - 1
+    for node in range(clique_size, clique_size + path_length):
+        graph.add_edge(previous, node)
+        previous = node
+    return graph
+
+
+def fig1_graph(group_size: int = 5) -> Graph:
+    """The motivating topology of the paper's Figure 1.
+
+    Two dense groups are connected by two parallel routes:
+
+    * a two-hop bridge through nodes ``A`` and ``B`` (every shortest path
+      between the groups uses it: any left node reaches any right node in
+      3 hops via ``A - B``), and
+    * a strictly longer detour through ``C1 - C2 - C3`` (4 hops end to
+      end, so never on any shortest path).
+
+    Node labels: the left group is ``0..group_size-1``, the right group is
+    ``group_size..2*group_size-1``, then ``A``, ``B``, ``C1``, ``C2``,
+    ``C3`` are the next five integers.  The paper draws a single node C;
+    ``fig1_node_roles`` marks the middle detour node ``C2`` as "C" (it is
+    interior to the detour, touching neither group, like the figure's C).
+    """
+    if group_size < 2:
+        raise GraphError("fig1_graph requires group_size >= 2")
+    n_group = group_size
+    left = list(range(n_group))
+    right = list(range(n_group, 2 * n_group))
+    node_a = 2 * n_group
+    node_b = 2 * n_group + 1
+    node_c1 = 2 * n_group + 2
+    node_c2 = 2 * n_group + 3
+    node_c3 = 2 * n_group + 4
+    graph = Graph()
+    for u, v in itertools.combinations(left, 2):
+        graph.add_edge(u, v)
+    for u, v in itertools.combinations(right, 2):
+        graph.add_edge(u, v)
+    # The shortest route: every left node - A - B - every right node.
+    for u in left:
+        graph.add_edge(u, node_a)
+    for v in right:
+        graph.add_edge(node_b, v)
+    graph.add_edge(node_a, node_b)
+    # The detour: left - C1 - C2 - C3 - right (one hop longer than A-B
+    # even for the attachment nodes).
+    graph.add_edge(left[0], node_c1)
+    graph.add_edge(node_c1, node_c2)
+    graph.add_edge(node_c2, node_c3)
+    graph.add_edge(node_c3, right[0])
+    return graph
+
+
+def fig1_node_roles(group_size: int = 5) -> dict[str, int]:
+    """Role labels for :func:`fig1_graph` nodes.
+
+    ``C`` is the middle detour node (strictly off every shortest path);
+    ``C1``/``C3`` are the detour's attachment nodes.
+    """
+    return {
+        "A": 2 * group_size,
+        "B": 2 * group_size + 1,
+        "C1": 2 * group_size + 2,
+        "C": 2 * group_size + 3,
+        "C3": 2 * group_size + 4,
+        "left": 0,
+        "right": group_size,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Random families
+# ---------------------------------------------------------------------------
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = False,
+    max_tries: int = 100,
+) -> Graph:
+    """G(n, p) random graph.
+
+    With ``ensure_connected=True`` the generator redraws (up to
+    ``max_tries`` times) until the sample is connected, then raises if it
+    never is; this keeps workload code honest about connectivity instead
+    of silently patching edges in.
+    """
+    if n < 1:
+        raise GraphError("erdos_renyi_graph requires n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("erdos_renyi_graph requires 0 <= p <= 1")
+    rng = _rng(seed)
+    for _ in range(max_tries):
+        graph = Graph(nodes=range(n))
+        # Vectorized upper-triangle coin flips.
+        if n > 1:
+            i_idx, j_idx = np.triu_indices(n, k=1)
+            mask = rng.random(len(i_idx)) < p
+            for u, v in zip(i_idx[mask], j_idx[mask]):
+                graph.add_edge(int(u), int(v))
+        if not ensure_connected or _is_connected(graph):
+            return graph
+    raise GraphError(
+        f"could not sample a connected G({n}, {p}) in {max_tries} tries"
+    )
+
+
+def barabasi_albert_graph(
+    n: int, m: int, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Barabasi-Albert preferential attachment with ``m`` edges per new node."""
+    if m < 1 or m >= n:
+        raise GraphError("barabasi_albert_graph requires 1 <= m < n")
+    rng = _rng(seed)
+    graph = complete_graph(m + 1)
+    # Repeated-endpoint list gives degree-proportional sampling.
+    endpoint_pool: list[int] = []
+    for u, v in graph.edges():
+        endpoint_pool.extend((u, v))
+    for new_node in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(endpoint_pool[rng.integers(len(endpoint_pool))]))
+        for target in targets:
+            graph.add_edge(new_node, target)
+            endpoint_pool.extend((new_node, target))
+    return graph
+
+
+def watts_strogatz_graph(
+    n: int,
+    k: int,
+    beta: float,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Watts-Strogatz small world: ring lattice with rewiring probability beta."""
+    if k < 2 or k % 2 != 0:
+        raise GraphError("watts_strogatz_graph requires even k >= 2")
+    if k >= n:
+        raise GraphError("watts_strogatz_graph requires k < n")
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError("watts_strogatz_graph requires 0 <= beta <= 1")
+    rng = _rng(seed)
+    graph = Graph(nodes=range(n))
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(node, (node + offset) % n)
+    # Rewire each lattice edge with probability beta.
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            neighbor = (node + offset) % n
+            if rng.random() < beta and graph.has_edge(node, neighbor):
+                candidates = [
+                    w
+                    for w in range(n)
+                    if w != node and not graph.has_edge(node, w)
+                ]
+                if candidates:
+                    new_neighbor = int(
+                        candidates[rng.integers(len(candidates))]
+                    )
+                    graph.remove_edge(node, neighbor)
+                    graph.add_edge(node, new_neighbor)
+    return graph
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    seed: int | np.random.Generator | None = None,
+    max_tries: int = 2000,
+) -> Graph:
+    """A uniformly-ish random ``d``-regular graph via the pairing model.
+
+    Retries rejected pairings (self-loops / multi-edges) up to
+    ``max_tries`` times.
+    """
+    if d < 1 or d >= n:
+        raise GraphError("random_regular_graph requires 1 <= d < n")
+    if (n * d) % 2 != 0:
+        raise GraphError("random_regular_graph requires n*d even")
+    rng = _rng(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        pairs = perm.reshape(-1, 2)
+        graph = Graph(nodes=range(n))
+        ok = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v or graph.has_edge(u, v):
+                ok = False
+                break
+            graph.add_edge(u, v)
+        if ok:
+            return graph
+    raise GraphError(
+        f"could not sample a simple {d}-regular graph on {n} nodes "
+        f"in {max_tries} tries"
+    )
+
+
+def random_tree(n: int, seed: int | np.random.Generator | None = None) -> Graph:
+    """A uniformly random labeled tree, decoded from a Prufer sequence."""
+    if n < 1:
+        raise GraphError("random_tree requires n >= 1")
+    if n == 1:
+        return Graph(nodes=[0])
+    if n == 2:
+        return Graph(edges=[(0, 1)])
+    rng = _rng(seed)
+    prufer = [int(rng.integers(n)) for _ in range(n - 2)]
+    return _tree_from_prufer(prufer, n)
+
+
+def _tree_from_prufer(prufer: list[int], n: int) -> Graph:
+    degree = [1] * n
+    for node in prufer:
+        degree[node] += 1
+    graph = Graph(nodes=range(n))
+    import heapq
+
+    leaves = [node for node in range(n) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in prufer:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, node)
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    graph.add_edge(u, v)
+    return graph
+
+
+def caveman_pair_graph(
+    cave_size: int,
+    bridges: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Two cliques ("caves") joined by ``bridges`` random cross edges."""
+    if cave_size < 3:
+        raise GraphError("caveman_pair_graph requires cave_size >= 3")
+    if bridges < 1 or bridges > cave_size:
+        raise GraphError("caveman_pair_graph requires 1 <= bridges <= cave_size")
+    rng = _rng(seed)
+    graph = Graph()
+    left = list(range(cave_size))
+    right = list(range(cave_size, 2 * cave_size))
+    for u, v in itertools.combinations(left, 2):
+        graph.add_edge(u, v)
+    for u, v in itertools.combinations(right, 2):
+        graph.add_edge(u, v)
+    lefts = rng.choice(left, size=bridges, replace=False)
+    rights = rng.choice(right, size=bridges, replace=False)
+    for u, v in zip(lefts, rights):
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube (n = 2^d, degree d).
+
+    A classic CONGEST benchmark topology: logarithmic diameter, perfect
+    symmetry, n-independent spectral gap per dimension.
+    """
+    if dimension < 1:
+        raise GraphError("hypercube_graph requires dimension >= 1")
+    if dimension > 16:
+        raise GraphError("hypercube_graph limited to dimension <= 16")
+    n = 1 << dimension
+    graph = Graph(nodes=range(n))
+    for node in range(n):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            if neighbor > node:
+                graph.add_edge(node, neighbor)
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}``: parts ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError("complete_bipartite_graph requires a, b >= 1")
+    graph = Graph(nodes=range(a + b))
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def caveman_ring_graph(caves: int, cave_size: int) -> Graph:
+    """``caves`` cliques arranged in a ring, adjacent caves bridged.
+
+    The connected-caveman model: a multi-community stress test for
+    betweenness (every bridge node is a broker).
+    """
+    if caves < 3:
+        raise GraphError("caveman_ring_graph requires caves >= 3")
+    if cave_size < 3:
+        raise GraphError("caveman_ring_graph requires cave_size >= 3")
+    graph = Graph()
+    for c in range(caves):
+        members = range(c * cave_size, (c + 1) * cave_size)
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v)
+    for c in range(caves):
+        # Last member of cave c bridges to first member of cave c+1.
+        u = c * cave_size + cave_size - 1
+        v = ((c + 1) % caves) * cave_size
+        graph.add_edge(u, v)
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int,
+    m: int,
+    triangle_probability: float,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Holme-Kim power-law graph with tunable clustering.
+
+    Barabasi-Albert growth where each preferential attachment is
+    followed, with probability ``triangle_probability``, by a
+    triad-closing edge to a random neighbor of the new contact.
+    """
+    if m < 1 or m >= n:
+        raise GraphError("powerlaw_cluster_graph requires 1 <= m < n")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError("triangle_probability must be in [0, 1]")
+    rng = _rng(seed)
+    graph = complete_graph(m + 1)
+    endpoint_pool: list[int] = []
+    for u, v in graph.edges():
+        endpoint_pool.extend((u, v))
+    for new_node in range(m + 1, n):
+        added = 0
+        last_target: int | None = None
+        while added < m:
+            if (
+                last_target is not None
+                and rng.random() < triangle_probability
+            ):
+                # Triad closure: pick a neighbor of the last target.
+                candidates = [
+                    w
+                    for w in graph.neighbors(last_target)
+                    if w != new_node and not graph.has_edge(new_node, w)
+                ]
+                if candidates:
+                    target = int(
+                        candidates[rng.integers(len(candidates))]
+                    )
+                    graph.add_edge(new_node, target)
+                    endpoint_pool.extend((new_node, target))
+                    added += 1
+                    continue
+            target = int(endpoint_pool[rng.integers(len(endpoint_pool))])
+            if target != new_node and not graph.has_edge(new_node, target):
+                graph.add_edge(new_node, target)
+                endpoint_pool.extend((new_node, target))
+                last_target = target
+                added += 1
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers (duplicated minimally to avoid an import cycle with
+# repro.graphs.properties)
+# ---------------------------------------------------------------------------
+def _is_connected(graph: Graph) -> bool:
+    if graph.num_nodes == 0:
+        return True
+    start = next(iter(graph.nodes()))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == graph.num_nodes
+
+
+def expected_er_edges(n: int, p: float) -> float:
+    """Expected edge count of G(n, p); handy for workload documentation."""
+    return p * n * (n - 1) / 2.0
+
+
+def connectivity_threshold_p(n: int, margin: float = 1.5) -> float:
+    """A ``p`` safely above the G(n, p) connectivity threshold ``ln n / n``."""
+    if n < 2:
+        return 1.0
+    return min(1.0, margin * math.log(n) / n)

@@ -1,0 +1,292 @@
+"""A small, explicit undirected graph data structure.
+
+The rest of the library needs a predictable graph type with:
+
+* hashable node identifiers (integers in practice, anything hashable in
+  principle),
+* O(1) adjacency queries backed by sets,
+* a stable *canonical ordering* of nodes so that matrix-based code
+  (:mod:`repro.core.exact`, :mod:`repro.walks.absorbing`) and the CONGEST
+  simulator agree on node indices, and
+* cheap structural hashing for caching and testing.
+
+``networkx`` is deliberately not used here: it is reserved for the oracle
+baseline (:mod:`repro.baselines.networkx_oracle`), so that agreement between
+our solvers and networkx is a genuine cross-check rather than a tautology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+import numpy as np
+
+NodeId = Hashable
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations."""
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    Self-loops and parallel edges are rejected: random walk betweenness is
+    defined on simple undirected graphs (paper, section III-A).
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial node identifiers.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints are added
+        implicitly.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2)])
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_order_cache", "_index_cache")
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] | None = None,
+        edges: Iterable[tuple[NodeId, NodeId]] | None = None,
+    ) -> None:
+        self._adj: dict[NodeId, set[NodeId]] = {}
+        self._num_edges = 0
+        self._order_cache: tuple[NodeId, ...] | None = None
+        self._index_cache: dict[NodeId, int] | None = None
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Add ``node``; adding an existing node is a no-op."""
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._invalidate()
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self-loop).
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+            self._invalidate()
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        GraphError
+            If the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        self._invalidate()
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        GraphError
+            If the node does not exist.
+        """
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        for neighbor in list(self._adj[node]):
+            self.remove_edge(node, neighbor)
+        del self._adj[node]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._order_cache = None
+        self._index_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``n`` in the paper's notation."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``m`` in the paper's notation."""
+        return self._num_edges
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: NodeId) -> frozenset[NodeId]:
+        """The neighbor set of ``node`` (as an immutable snapshot)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def degree(self, node: NodeId) -> int:
+        """``d(node)``: the number of incident edges."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Iterate over each undirected edge exactly once.
+
+        Edge endpoints are emitted in canonical-index order so iteration
+        order is deterministic for a given graph.
+        """
+        index = self.index_of
+        for u in self.canonical_order():
+            for v in self._adj[u]:
+                if index(u) < index(v):
+                    yield (u, v)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Canonical ordering and matrices
+    # ------------------------------------------------------------------
+    def canonical_order(self) -> tuple[NodeId, ...]:
+        """Nodes in a stable canonical order (sorted when comparable).
+
+        Matrix code and the simulator both use this ordering, so that row
+        ``i`` of an adjacency matrix always refers to the same node.
+        """
+        if self._order_cache is None:
+            try:
+                ordered = tuple(sorted(self._adj))
+            except TypeError:
+                # Mixed/unsortable node types: fall back to insertion order.
+                ordered = tuple(self._adj)
+            self._order_cache = ordered
+        return self._order_cache
+
+    def index_of(self, node: NodeId) -> int:
+        """Canonical index of ``node`` (inverse of :meth:`canonical_order`)."""
+        if self._index_cache is None:
+            self._index_cache = {
+                node: i for i, node in enumerate(self.canonical_order())
+            }
+        try:
+            return self._index_cache[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` 0/1 adjacency matrix in canonical order (Eq. 1)."""
+        order = self.canonical_order()
+        n = len(order)
+        index = {node: i for i, node in enumerate(order)}
+        matrix = np.zeros((n, n), dtype=float)
+        for u in order:
+            i = index[u]
+            for v in self._adj[u]:
+                matrix[i, index[v]] = 1.0
+        return matrix
+
+    def degree_vector(self) -> np.ndarray:
+        """Vector of node degrees in canonical order."""
+        return np.array(
+            [len(self._adj[node]) for node in self.canonical_order()], dtype=float
+        )
+
+    def laplacian_matrix(self) -> np.ndarray:
+        """Graph Laplacian ``L = D - A`` in canonical order."""
+        adjacency = self.adjacency_matrix()
+        return np.diag(adjacency.sum(axis=1)) - adjacency
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """An independent deep copy."""
+        clone = Graph()
+        for node in self._adj:
+            clone.add_node(node)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._adj)
+        if missing:
+            raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))}")
+        sub = Graph(nodes=keep)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v)
+        return sub
+
+    def relabeled(self) -> tuple["Graph", dict[NodeId, int]]:
+        """A copy with nodes relabeled ``0..n-1`` in canonical order.
+
+        Returns the new graph and the old-node -> new-index mapping.
+        """
+        mapping = {node: i for i, node in enumerate(self.canonical_order())}
+        relabeled = Graph(nodes=range(self.num_nodes))
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    # ------------------------------------------------------------------
+    # Hashing helpers (content fingerprint, not Python hash)
+    # ------------------------------------------------------------------
+    def edge_set(self) -> frozenset[frozenset[NodeId]]:
+        """The set of edges as frozensets, useful for structural equality."""
+        return frozenset(frozenset((u, v)) for u, v in self.edges())

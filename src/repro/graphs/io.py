@@ -1,0 +1,65 @@
+"""Plain-text edge-list I/O.
+
+Format: one ``u v`` pair per line, ``#`` comments and blank lines ignored,
+with an optional ``# nodes: a b c`` header line listing isolated nodes so
+that graphs with degree-0 nodes round-trip exactly.  Node labels are parsed
+as integers when possible, otherwise kept as strings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graphs.graph import Graph, GraphError
+
+
+def _parse_label(token: str) -> int | str:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    path = Path(path)
+    isolated = [
+        node for node in graph.canonical_order() if graph.degree(node) == 0
+    ]
+    lines = [f"# repro edge list: n={graph.num_nodes} m={graph.num_edges}"]
+    if isolated:
+        lines.append("# nodes: " + " ".join(str(node) for node in isolated))
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`write_edge_list`.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines (not exactly two tokens) or self-loops.
+    """
+    path = Path(path)
+    graph = Graph()
+    for line_number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("nodes:"):
+                for token in body[len("nodes:") :].split():
+                    graph.add_node(_parse_label(token))
+            continue
+        tokens = line.split()
+        if len(tokens) != 2:
+            raise GraphError(
+                f"{path}:{line_number}: expected 'u v', got {line!r}"
+            )
+        graph.add_edge(_parse_label(tokens[0]), _parse_label(tokens[1]))
+    return graph

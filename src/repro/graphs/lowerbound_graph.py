@@ -1,0 +1,305 @@
+"""The paper's lower-bound graph construction (section VIII, Figs. 2-3).
+
+Given an even ``M`` and two families ``X = {X_1..X_N}``, ``Y = {Y_1..Y_N}``
+of size-``M/2`` subsets of ``{0..M-1}``, the construction builds:
+
+* ``2M`` "rail" nodes ``L_0..L_{M-1}`` and ``R_0..R_{M-1}`` with an edge
+  ``L_i - R_i`` for every ``i``;
+* a node ``S_i`` per subset ``X_i``, joined to ``L_j`` for every
+  ``j in X_i``;
+* a node ``T_i`` per subset ``Y_i``, joined to ``R_j`` for every
+  ``j NOT in Y_i`` (the complement trick: ``S_i`` "equals" ``T_j``
+  exactly when ``X_i == Y_j`` as encoded sets);
+* hub nodes ``A`` (adjacent to ``B`` and to every ``L_j``) and ``B``
+  (adjacent to every ``R_j``);
+* the probe node ``P``, adjacent to every ``S_i`` and every ``T_i``.
+
+Lemma 4 asserts the random walk betweenness of ``P`` is minimal exactly
+when no ``X_i`` equals any ``Y_j`` (i.e. the encoded sets are disjoint).
+
+A note on the cut (measured, not assumed): the paper states the Alice/Bob
+cut has ``c_k = M`` edges, but as literally drawn, ``P`` is adjacent to
+nodes on both sides, so any bipartition that separates the ``S`` side from
+the ``T`` side also cuts either the ``N`` edges ``P - T_i`` or the ``N``
+edges ``P - S_i``, plus the ``A - B`` edge - giving ``c_k = M + N + 1``.
+We build the graph faithfully and *report* the measured cut; the
+discrepancy is recorded in EXPERIMENTS.md (experiment E8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.graphs.graph import Graph, GraphError
+
+SubsetFamily = tuple[frozenset[int], ...]
+
+
+def _validate_family(
+    family: SubsetFamily, m: int, name: str, exact_half: bool
+) -> SubsetFamily:
+    half = m // 2
+    validated = []
+    for i, subset in enumerate(family):
+        subset = frozenset(subset)
+        if exact_half and len(subset) != half:
+            raise GraphError(
+                f"{name}[{i}] has size {len(subset)}, expected M/2 = {half}"
+            )
+        if not 1 <= len(subset) <= m - 1:
+            raise GraphError(
+                f"{name}[{i}] must have between 1 and M-1 elements"
+            )
+        if not subset <= set(range(m)):
+            raise GraphError(f"{name}[{i}] contains elements outside 0..{m - 1}")
+        validated.append(subset)
+    return tuple(validated)
+
+
+@dataclass(frozen=True)
+class LowerBoundGraph:
+    """The constructed graph plus the node-role bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The full construction as a :class:`Graph` with integer labels.
+    m, n_subsets:
+        The construction parameters ``M`` and ``N``.
+    x_family, y_family:
+        Alice's and Bob's subset families (``Y`` stored as given, before
+        complementing).
+    """
+
+    graph: Graph
+    m: int
+    n_subsets: int
+    x_family: SubsetFamily
+    y_family: SubsetFamily
+    _roles: dict[str, int] = field(default_factory=dict, repr=False)
+
+    # -- node accessors -------------------------------------------------
+    def l_node(self, j: int) -> int:
+        """Label of rail node ``L_j``."""
+        self._check_rail(j)
+        return j
+
+    def r_node(self, j: int) -> int:
+        """Label of rail node ``R_j``."""
+        self._check_rail(j)
+        return self.m + j
+
+    def s_node(self, i: int) -> int:
+        """Label of subset node ``S_i`` (Alice side)."""
+        self._check_subset(i)
+        return 2 * self.m + i
+
+    def t_node(self, i: int) -> int:
+        """Label of subset node ``T_i`` (Bob side)."""
+        self._check_subset(i)
+        return 2 * self.m + self.n_subsets + i
+
+    @property
+    def a_node(self) -> int:
+        """Label of hub node ``A``."""
+        return 2 * self.m + 2 * self.n_subsets
+
+    @property
+    def b_node(self) -> int:
+        """Label of hub node ``B``."""
+        return 2 * self.m + 2 * self.n_subsets + 1
+
+    @property
+    def p_node(self) -> int:
+        """Label of the probe node ``P`` whose betweenness encodes DISJ."""
+        return 2 * self.m + 2 * self.n_subsets + 2
+
+    def _check_rail(self, j: int) -> None:
+        if not 0 <= j < self.m:
+            raise GraphError(f"rail index {j} out of range 0..{self.m - 1}")
+
+    def _check_subset(self, i: int) -> None:
+        if not 0 <= i < self.n_subsets:
+            raise GraphError(
+                f"subset index {i} out of range 0..{self.n_subsets - 1}"
+            )
+
+    # -- semantics -------------------------------------------------------
+    def families_intersect(self) -> bool:
+        """True iff some ``X_i`` equals some ``Y_j`` (``X cap Y != emptyset``)."""
+        return bool(set(self.x_family) & set(self.y_family))
+
+    def intersection_size(self) -> int:
+        """Number of subset values shared between the two families."""
+        return len(set(self.x_family) & set(self.y_family))
+
+    def alice_nodes(self, probe_with_alice: bool = True) -> set[int]:
+        """Alice's side of the cut: ``{S_i} + L + {A}`` (and ``P`` by default)."""
+        side = {self.l_node(j) for j in range(self.m)}
+        side |= {self.s_node(i) for i in range(self.n_subsets)}
+        side.add(self.a_node)
+        if probe_with_alice:
+            side.add(self.p_node)
+        return side
+
+    def bob_nodes(self, probe_with_alice: bool = True) -> set[int]:
+        """Bob's side: the complement of :meth:`alice_nodes`."""
+        return set(self.graph.nodes()) - self.alice_nodes(probe_with_alice)
+
+    def cut_edges(self, probe_with_alice: bool = True) -> list[tuple[int, int]]:
+        """Edges crossing the Alice/Bob cut, measured from the actual graph."""
+        alice = self.alice_nodes(probe_with_alice)
+        return [
+            (u, v)
+            for u, v in self.graph.edges()
+            if (u in alice) != (v in alice)
+        ]
+
+
+def required_m(n_subsets: int) -> int:
+    """Smallest even ``M`` with ``C(M, M/2) >= N^2``.
+
+    The paper picks ``M = O(log N)`` so each size-``M/2`` subset of ``[M]``
+    can encode one of ``N^2`` distinct values.
+    """
+    if n_subsets < 1:
+        raise GraphError("required_m needs n_subsets >= 1")
+    m = 2
+    while math.comb(m, m // 2) < n_subsets * n_subsets:
+        m += 2
+    return m
+
+
+def encode_values_as_subsets(values: list[int], m: int) -> SubsetFamily:
+    """Encode integers in ``[0, C(M, M/2))`` as distinct size-``M/2`` subsets.
+
+    Uses the combinatorial number system, so equal values map to equal
+    subsets and distinct values to distinct subsets - exactly the property
+    the DISJ reduction needs.
+    """
+    capacity = math.comb(m, m // 2)
+    subsets = []
+    for value in values:
+        if not 0 <= value < capacity:
+            raise GraphError(
+                f"value {value} out of encodable range 0..{capacity - 1}"
+            )
+        subsets.append(_unrank_combination(value, m, m // 2))
+    return tuple(subsets)
+
+
+def _unrank_combination(rank: int, m: int, k: int) -> frozenset[int]:
+    """The ``rank``-th k-subset of ``{0..m-1}`` in colexicographic order."""
+    members = []
+    remaining = rank
+    for slot in range(k, 0, -1):
+        # Largest c with C(c, slot) <= remaining.
+        c = slot - 1
+        while math.comb(c + 1, slot) <= remaining:
+            c += 1
+        members.append(c)
+        remaining -= math.comb(c, slot)
+    return frozenset(members)
+
+
+def all_half_subsets(m: int) -> list[frozenset[int]]:
+    """Every size-``M/2`` subset of ``{0..M-1}`` (small ``M`` only)."""
+    return [frozenset(c) for c in combinations(range(m), m // 2)]
+
+
+def build_lower_bound_graph(
+    x_family: SubsetFamily | list[frozenset[int]],
+    y_family: SubsetFamily | list[frozenset[int]],
+    m: int,
+    complement_bob: bool = True,
+    exact_half: bool = True,
+) -> LowerBoundGraph:
+    """Build the Fig. 2 construction from two subset families.
+
+    Parameters
+    ----------
+    x_family, y_family:
+        ``N`` subsets each, of size ``M/2`` drawn from ``{0..M-1}``
+        (arbitrary non-trivial sizes with ``exact_half=False``, used for
+        the paper's Fig. 3 / Fig. 5 special cases).
+    m:
+        The rail width ``M`` (must be even, >= 2).
+    complement_bob:
+        Wire each ``T_i`` to the rails NOT in ``Y_i`` (the paper's
+        complement trick).  ``False`` wires ``T_i`` directly to ``Y_i``,
+        matching Fig. 3 where ``T_1`` attaches to the single named rail.
+
+    Raises
+    ------
+    GraphError
+        If ``M`` is odd, the families have mismatched sizes, or any subset
+        is malformed.
+    """
+    if m < 2 or m % 2 != 0:
+        raise GraphError("M must be an even integer >= 2")
+    x_family = _validate_family(tuple(x_family), m, "X", exact_half)
+    y_family = _validate_family(tuple(y_family), m, "Y", exact_half)
+    if len(x_family) != len(y_family):
+        raise GraphError(
+            f"family sizes differ: |X| = {len(x_family)}, |Y| = {len(y_family)}"
+        )
+    if not x_family:
+        raise GraphError("families must be non-empty")
+
+    n_subsets = len(x_family)
+    construction = LowerBoundGraph(
+        graph=Graph(),
+        m=m,
+        n_subsets=n_subsets,
+        x_family=x_family,
+        y_family=y_family,
+    )
+    graph = construction.graph
+
+    # Rails: L_j - R_j.
+    for j in range(m):
+        graph.add_edge(construction.l_node(j), construction.r_node(j))
+    # Hubs: A - B, A - every L, B - every R.
+    graph.add_edge(construction.a_node, construction.b_node)
+    for j in range(m):
+        graph.add_edge(construction.a_node, construction.l_node(j))
+        graph.add_edge(construction.b_node, construction.r_node(j))
+    # Alice's subset nodes: S_i - L_j for j in X_i.
+    for i, subset in enumerate(x_family):
+        for j in sorted(subset):
+            graph.add_edge(construction.s_node(i), construction.l_node(j))
+    # Bob's subset nodes: T_i - R_j for j NOT in Y_i (complement trick),
+    # or directly to Y_i's rails in the Fig. 3 special-case wiring.
+    for i, subset in enumerate(y_family):
+        for j in range(m):
+            if (j not in subset) == complement_bob:
+                graph.add_edge(construction.t_node(i), construction.r_node(j))
+    # The probe node P touches every S_i and T_i.
+    for i in range(n_subsets):
+        graph.add_edge(construction.p_node, construction.s_node(i))
+        graph.add_edge(construction.p_node, construction.t_node(i))
+
+    return construction
+
+
+def build_from_disjointness_instance(
+    alice_values: list[int],
+    bob_values: list[int],
+    m: int | None = None,
+) -> LowerBoundGraph:
+    """Build the construction directly from a sparse-DISJ instance.
+
+    ``alice_values`` and ``bob_values`` are the two players' sets of
+    integers (paper: ``N`` numbers from ``{1..N^2}``).  ``X cap Y`` is
+    non-empty exactly when the value sets intersect.
+    """
+    if len(alice_values) != len(bob_values):
+        raise GraphError("DISJ instance sides must have equal size N")
+    n_subsets = len(alice_values)
+    if m is None:
+        m = required_m(max(n_subsets, 2))
+    x_family = encode_values_as_subsets(alice_values, m)
+    y_family = encode_values_as_subsets(bob_values, m)
+    return build_lower_bound_graph(x_family, y_family, m)

@@ -1,0 +1,145 @@
+"""Structural graph properties: connectivity, distances, degrees.
+
+These are the quantities the paper's complexity statements are phrased in
+(``n``, ``m``, the diameter ``D``) plus supporting statistics used by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.graph import Graph, GraphError, NodeId
+
+
+def connected_components(graph: Graph) -> list[set[NodeId]]:
+    """All connected components, each as a set of nodes."""
+    remaining = set(graph.nodes())
+    components: list[set[NodeId]] = []
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(seen)
+        remaining -= seen
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has at most one connected component."""
+    if graph.num_nodes <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def bfs_distances(graph: Graph, source: NodeId) -> dict[NodeId, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} not in graph")
+    distances = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def eccentricities(graph: Graph) -> dict[NodeId, int]:
+    """Eccentricity of every node.
+
+    Raises
+    ------
+    GraphError
+        If the graph is disconnected (eccentricity is infinite).
+    """
+    result: dict[NodeId, int] = {}
+    n = graph.num_nodes
+    for node in graph.nodes():
+        distances = bfs_distances(graph, node)
+        if len(distances) != n:
+            raise GraphError("eccentricities undefined: graph is disconnected")
+        result[node] = max(distances.values(), default=0)
+    return result
+
+
+def diameter(graph: Graph) -> int:
+    """The diameter ``D``: the largest hop distance between any node pair."""
+    if graph.num_nodes == 0:
+        raise GraphError("diameter undefined for the empty graph")
+    return max(eccentricities(graph).values())
+
+
+def radius(graph: Graph) -> int:
+    """The radius: the smallest eccentricity."""
+    if graph.num_nodes == 0:
+        raise GraphError("radius undefined for the empty graph")
+    return min(eccentricities(graph).values())
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping ``degree -> number of nodes with that degree``."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        d = graph.degree(node)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean degree, ``2m / n``."""
+    if graph.num_nodes == 0:
+        raise GraphError("average degree undefined for the empty graph")
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``m / C(n, 2)``."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2.0)
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Two-colorability check via BFS.
+
+    Bipartite graphs make the simple-random-walk chain periodic, which is
+    worth flagging in workloads even though absorbing-walk quantities stay
+    well defined.
+    """
+    color: dict[NodeId, int] = {}
+    for start in graph.nodes():
+        if start in color:
+            continue
+        color[start] = 0
+        queue: deque[NodeId] = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in color:
+                    color[neighbor] = 1 - color[node]
+                    queue.append(neighbor)
+                elif color[neighbor] == color[node]:
+                    return False
+    return True
+
+
+def triangles(graph: Graph) -> int:
+    """Total number of triangles in the graph."""
+    count = 0
+    index = graph.index_of
+    for u, v in graph.edges():
+        common = graph.neighbors(u) & graph.neighbors(v)
+        for w in common:
+            if index(w) > index(u) and index(w) > index(v):
+                count += 1
+    return count

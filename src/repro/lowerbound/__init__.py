@@ -1,0 +1,40 @@
+"""Section VIII machinery: the communication-complexity lower bound.
+
+``disjointness`` generates sparse set-disjointness instances;
+``construction`` maps them onto the Fig. 2 graph; ``verify`` checks
+Lemmas 4-6 by exact computation of the probe node's betweenness;
+``twoparty`` runs any distributed algorithm over the Alice/Bob cut and
+counts the bits crossing it (the Theorem 7 simulation argument, measured
+rather than assumed).
+"""
+
+from repro.lowerbound.construction import instance_to_graph
+from repro.lowerbound.disjointness import (
+    DisjointnessInstance,
+    random_disjoint_instance,
+    random_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbound.twoparty import CutAnalysis, analyze_cut_traffic
+from repro.lowerbound.verify import (
+    lemma4_separation,
+    lemma5_profile,
+    lemma6_profile,
+    match_pairs,
+    probe_betweenness,
+)
+
+__all__ = [
+    "CutAnalysis",
+    "DisjointnessInstance",
+    "analyze_cut_traffic",
+    "instance_to_graph",
+    "lemma4_separation",
+    "lemma5_profile",
+    "lemma6_profile",
+    "match_pairs",
+    "probe_betweenness",
+    "random_disjoint_instance",
+    "random_instance",
+    "random_intersecting_instance",
+]

@@ -1,0 +1,48 @@
+"""From a DISJ instance to the Fig. 2 graph.
+
+The encoding detail that matters (measured in :mod:`repro.lowerbound.verify`):
+the probe node's betweenness is *strictly decreasing* in the number of
+rails where an ``S_i`` and a ``T_j`` attach on both sides.  Because the
+paper wires each ``T_j`` to the *complement* of its subset, two choices of
+Bob-side encoding give opposite semantics:
+
+* ``precomplement_bob=True`` (default): Bob encodes value ``y`` as the
+  complement of ``subset(y)``, so after the construction's complement
+  wiring, a value collision ``x = y`` yields identical rail patterns
+  (``S_i = T_j`` in the paper's notation) and hence a *lower* ``b_P``.
+  This is the encoding under which ``b_P`` decides DISJ with a clean
+  threshold, and the one experiment E7/E8 uses.
+* ``precomplement_bob=False``: the literal composition of "encode value
+  as subset" with the paper's complement wiring; collisions then produce
+  *disjoint* rail patterns.  Kept for fidelity comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.lowerbound_graph import (
+    LowerBoundGraph,
+    build_lower_bound_graph,
+    encode_values_as_subsets,
+    required_m,
+)
+from repro.lowerbound.disjointness import DisjointnessInstance
+
+
+def instance_to_graph(
+    instance: DisjointnessInstance,
+    m: int | None = None,
+    precomplement_bob: bool = True,
+) -> LowerBoundGraph:
+    """Build the Fig. 2 construction for one DISJ instance."""
+    if m is None:
+        m = required_m(max(instance.n, 2))
+    x_family = encode_values_as_subsets(list(instance.alice), m)
+    y_subsets = encode_values_as_subsets(list(instance.bob), m)
+    if precomplement_bob:
+        full = frozenset(range(m))
+        y_family = tuple(full - subset for subset in y_subsets)
+    else:
+        y_family = y_subsets
+    return build_lower_bound_graph(
+        x_family, y_family, m, complement_bob=True, exact_half=False
+    )

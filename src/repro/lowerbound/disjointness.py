@@ -1,0 +1,126 @@
+"""Sparse set-disjointness instances (Definition 3 / Theorem 8).
+
+Alice and Bob each hold ``N`` numbers from the universe ``{0..N^2 - 1}``;
+``DISJ = 1`` iff the value sets share no element.  Theorem 8 (via Saglam
+and Tardos) gives the ``Omega(N log N)`` communication bound the graph
+construction transports into the CONGEST world.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import GraphError
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """One DISJ_{N^2}^N instance.
+
+    Attributes
+    ----------
+    alice, bob:
+        The two value tuples (each of length ``N``, values in
+        ``[0, N^2)``, no duplicates within one side).
+    """
+
+    alice: tuple[int, ...]
+    bob: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.alice)
+        if n == 0 or len(self.bob) != n:
+            raise GraphError("both sides must hold N >= 1 values")
+        universe = n * n
+        for name, values in (("alice", self.alice), ("bob", self.bob)):
+            if len(set(values)) != len(values):
+                raise GraphError(f"{name} holds duplicate values")
+            if not all(0 <= v < universe for v in values):
+                raise GraphError(
+                    f"{name} values must lie in [0, N^2) = [0, {universe})"
+                )
+
+    @property
+    def n(self) -> int:
+        return len(self.alice)
+
+    @property
+    def universe_size(self) -> int:
+        return self.n * self.n
+
+    def is_disjoint(self) -> bool:
+        return not set(self.alice) & set(self.bob)
+
+    def intersection(self) -> frozenset[int]:
+        return frozenset(set(self.alice) & set(self.bob))
+
+    def input_bits(self) -> int:
+        """Bits needed to describe one side: ``N * ceil(log2 N^2)``.
+
+        This is the ``O(N log N)`` input size Theorem 8's bound is stated
+        against.
+        """
+        return self.n * max(1, math.ceil(math.log2(self.universe_size)))
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_instance(
+    n: int, seed: int | np.random.Generator | None = None
+) -> DisjointnessInstance:
+    """Uniform instance: both sides sample N values independently."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    rng = _rng(seed)
+    universe = n * n
+    alice = rng.choice(universe, size=n, replace=False)
+    bob = rng.choice(universe, size=n, replace=False)
+    return DisjointnessInstance(
+        tuple(int(v) for v in alice), tuple(int(v) for v in bob)
+    )
+
+
+def random_disjoint_instance(
+    n: int, seed: int | np.random.Generator | None = None
+) -> DisjointnessInstance:
+    """An instance guaranteed disjoint (sampled from disjoint halves)."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    universe = n * n
+    if universe < 2 * n:
+        raise GraphError(f"universe {universe} too small for disjoint sides")
+    rng = _rng(seed)
+    values = rng.choice(universe, size=2 * n, replace=False)
+    return DisjointnessInstance(
+        tuple(int(v) for v in values[:n]), tuple(int(v) for v in values[n:])
+    )
+
+
+def random_intersecting_instance(
+    n: int,
+    overlap: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> DisjointnessInstance:
+    """An instance with exactly ``overlap`` shared values."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    if not 1 <= overlap <= n:
+        raise GraphError("overlap must be in 1..n")
+    universe = n * n
+    if universe < 2 * n - overlap:
+        raise GraphError("universe too small for the requested overlap")
+    rng = _rng(seed)
+    values = rng.choice(universe, size=2 * n - overlap, replace=False)
+    shared = [int(v) for v in values[:overlap]]
+    alice_only = [int(v) for v in values[overlap : n]]
+    bob_only = [int(v) for v in values[n : 2 * n - overlap]]
+    return DisjointnessInstance(
+        tuple(shared + alice_only), tuple(shared + bob_only)
+    )

@@ -1,0 +1,109 @@
+"""A repaired lower-bound construction with an O(M) cut.
+
+E8 measured that the paper's Fig. 2 graph has cut ``M + N + 1``, not the
+claimed ``M``: the probe node ``P`` touches both sides.  The natural
+repair splits the probe into ``P_A`` (adjacent to every ``S_i``) and
+``P_B`` (adjacent to every ``T_i``) joined by a single edge - the cut
+becomes exactly ``M + 2`` (rails + the A-B hub edge + the P_A-P_B edge),
+restoring the paper's asymptotics.
+
+Whether the DISJ signal survives the surgery is an empirical question;
+:func:`repaired_overlap_profile` answers it the same way E7 does for the
+original: the probe-edge quantity is monotone in the rail-pattern
+overlap, so the decision content is preserved (see the tests and
+EXPERIMENTS.md E7/E8 notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exact import rwbc_exact
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.lowerbound_graph import LowerBoundGraph, build_lower_bound_graph
+from repro.lowerbound.disjointness import DisjointnessInstance
+from repro.lowerbound.construction import instance_to_graph
+
+
+@dataclass(frozen=True)
+class RepairedGraph:
+    """The split-probe construction plus its bookkeeping."""
+
+    graph: Graph
+    base: LowerBoundGraph
+
+    @property
+    def pa_node(self) -> int:
+        """``P_A``: reuses the original probe label (Alice side)."""
+        return self.base.p_node
+
+    @property
+    def pb_node(self) -> int:
+        """``P_B``: one past the original label range (Bob side)."""
+        return self.base.p_node + 1
+
+    def alice_nodes(self) -> set[int]:
+        side = self.base.alice_nodes(probe_with_alice=True)
+        return side  # P_A carries the original probe label
+
+    def cut_edges(self) -> list[tuple[int, int]]:
+        alice = self.alice_nodes()
+        return [
+            (u, v)
+            for u, v in self.graph.edges()
+            if (u in alice) != (v in alice)
+        ]
+
+
+def repair_construction(base: LowerBoundGraph) -> RepairedGraph:
+    """Split the probe of an existing construction into P_A / P_B."""
+    graph = base.graph.copy()
+    pa = base.p_node
+    pb = base.p_node + 1
+    if graph.has_node(pb):
+        raise GraphError("label collision: construction already repaired?")
+    # Detach P from the T side, re-homing those edges on P_B.
+    for i in range(base.n_subsets):
+        t = base.t_node(i)
+        graph.remove_edge(pa, t)
+        graph.add_edge(pb, t)
+    graph.add_edge(pa, pb)
+    return RepairedGraph(graph=graph, base=base)
+
+
+def repaired_instance_graph(
+    instance: DisjointnessInstance,
+    m: int | None = None,
+    precomplement_bob: bool = True,
+) -> RepairedGraph:
+    """Repaired construction directly from a DISJ instance."""
+    return repair_construction(
+        instance_to_graph(instance, m=m, precomplement_bob=precomplement_bob)
+    )
+
+
+def probe_pair_betweenness(repaired: RepairedGraph) -> tuple[float, float]:
+    """Exact RWBC of (P_A, P_B) - the repaired probe observables."""
+    values = rwbc_exact(repaired.graph)
+    return values[repaired.pa_node], values[repaired.pb_node]
+
+
+def repaired_overlap_profile(m: int = 4) -> dict[int, tuple[float, ...]]:
+    """The E7c sweep on the repaired construction: N = 1, all half-subset
+    pairs, keyed by rail-pattern overlap.  Values are P_A's betweenness.
+    """
+    from repro.graphs.lowerbound_graph import all_half_subsets
+
+    full = frozenset(range(m))
+    by_overlap: dict[int, set[float]] = {}
+    for x_subset in all_half_subsets(m):
+        for y_subset in all_half_subsets(m):
+            base = build_lower_bound_graph([x_subset], [y_subset], m)
+            repaired = repair_construction(base)
+            overlap = len(x_subset & (full - y_subset))
+            value = round(probe_pair_betweenness(repaired)[0], 12)
+            by_overlap.setdefault(overlap, set()).add(value)
+    return {
+        overlap: tuple(sorted(values))
+        for overlap, values in sorted(by_overlap.items())
+    }

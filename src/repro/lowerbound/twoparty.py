@@ -1,0 +1,94 @@
+"""The Theorem 7 simulation argument, measured on real runs.
+
+Theorem 7 relates two-party communication to distributed time: Alice and
+Bob can simulate any distributed algorithm by exchanging everything that
+crosses the cut, so ``R^cc <= rounds * 2 * c_k * B``.  This module runs a
+distributed algorithm on a cut graph with full message logging and
+reports:
+
+* the *actual* bits that crossed the cut (what a simulating Alice/Bob
+  pair would really need),
+* the worst-case channel capacity ``rounds * 2 * c_k * B`` the theorem
+  charges, and
+* the Theorem 8 target ``Omega(N log N)`` for the exact problem.
+
+For the paper's *approximation* algorithm the measured cut traffic may
+fall below the exact-problem bound - that is the point: the
+``Omega(n / log n)`` bound applies to exact computation only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congest.scheduler import SimulationResult
+from repro.congest.transport import BandwidthPolicy
+from repro.graphs.graph import GraphError
+from repro.graphs.lowerbound_graph import LowerBoundGraph
+
+
+@dataclass(frozen=True)
+class CutAnalysis:
+    """Cut-traffic accounting for one run over one Alice/Bob partition.
+
+    Attributes
+    ----------
+    cut_edges:
+        Number of undirected edges crossing the partition (``c_k``).
+    bits_crossed:
+        Total bits actually carried by crossing edges, both directions.
+    rounds:
+        Rounds the algorithm ran.
+    channel_capacity_bits:
+        ``rounds * 2 * c_k * B``: the Theorem 7 upper bound on what the
+        two-party simulation could ever need.
+    """
+
+    cut_edges: int
+    bits_crossed: int
+    rounds: int
+    bits_per_message: int
+
+    @property
+    def channel_capacity_bits(self) -> int:
+        return self.rounds * 2 * self.cut_edges * self.bits_per_message
+
+    @property
+    def simulation_inequality_holds(self) -> bool:
+        """``bits_crossed <= channel capacity`` - must always be true; a
+        violation would mean the simulator miscounted."""
+        return self.bits_crossed <= self.channel_capacity_bits
+
+    def implied_round_lower_bound(self, cc_bits: int) -> float:
+        """Theorem 7 rearranged: any algorithm solving a problem of
+        two-party complexity ``cc_bits`` needs at least this many rounds
+        on this cut."""
+        if self.cut_edges == 0:
+            raise GraphError("cut has no edges; the bound is vacuous")
+        return cc_bits / (2.0 * self.cut_edges * self.bits_per_message)
+
+
+def analyze_cut_traffic(
+    result: SimulationResult,
+    construction: LowerBoundGraph,
+    policy: BandwidthPolicy,
+    probe_with_alice: bool = True,
+) -> CutAnalysis:
+    """Measure cut traffic of a recorded run on a lower-bound graph.
+
+    ``result`` must come from a simulator with ``record_messages=True``.
+    """
+    if not result.message_log and result.metrics.total_messages > 0:
+        raise GraphError(
+            "run was not recorded; pass record_messages=True to the "
+            "simulator"
+        )
+    alice = construction.alice_nodes(probe_with_alice)
+    bits = result.metrics.bits_crossing_cut(result.message_log, alice)
+    cut_edges = len(construction.cut_edges(probe_with_alice))
+    return CutAnalysis(
+        cut_edges=cut_edges,
+        bits_crossed=bits,
+        rounds=result.metrics.rounds,
+        bits_per_message=policy.bits_per_message,
+    )

@@ -1,0 +1,154 @@
+"""Exact absorbing-chain quantities (paper section IV).
+
+All functions work in the graph's canonical node order.  The key objects:
+
+* ``M = A D^{-1}``, the column-stochastic transition matrix (Eq. 2):
+  ``M[i, j]`` is the probability a walk at ``j`` moves to ``i``.
+* ``M_t``: ``M`` with the target row/column removed - the substochastic
+  matrix of the walk absorbed at ``t``.
+* expected visits ``(I - M_t)^{-1}``: entry ``(i, s)`` is the expected
+  number of times a walk from ``s`` visits ``i`` before absorption.
+* the grounded inverse ``T``: ``(D_t - A_t)^{-1}`` with the target
+  row/column re-inserted as zeros (Eq. 3 and Table I).  ``T[i, s]`` equals
+  expected visits divided by ``d(i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.properties import is_connected
+
+
+def _target_index(graph: Graph, target) -> int:
+    return graph.index_of(target)
+
+
+def _check_graph(graph: Graph) -> None:
+    if graph.num_nodes < 2:
+        raise GraphError("absorbing-walk quantities need at least 2 nodes")
+    if not is_connected(graph):
+        raise GraphError(
+            "graph must be connected: otherwise walks from other components "
+            "are never absorbed and expected visits diverge"
+        )
+
+
+def transition_matrix(graph: Graph) -> np.ndarray:
+    """Column-stochastic ``M = A D^{-1}`` (Eq. 2) in canonical order.
+
+    Raises
+    ------
+    GraphError
+        If any node is isolated (its column would be undefined).
+    """
+    adjacency = graph.adjacency_matrix()
+    degrees = adjacency.sum(axis=0)
+    if np.any(degrees == 0):
+        raise GraphError("transition matrix undefined with isolated nodes")
+    return adjacency / degrees[np.newaxis, :]
+
+
+def absorbing_transition_matrix(graph: Graph, target) -> np.ndarray:
+    """``M_t``: the transition matrix with the target row/column removed."""
+    _check_graph(graph)
+    t = _target_index(graph, target)
+    m = transition_matrix(graph)
+    keep = np.arange(graph.num_nodes) != t
+    return m[np.ix_(keep, keep)]
+
+
+def expected_visits(graph: Graph, target) -> np.ndarray:
+    """Expected visit counts ``(I - M_t)^{-1}``, padded back to n x n.
+
+    Entry ``(i, s)`` is the expected number of times the absorbing walk
+    from ``s`` occupies node ``i`` (counting the start: the ``r = 0`` term
+    of Eq. 3's series).  Rows/columns at the target are zero.
+    """
+    _check_graph(graph)
+    n = graph.num_nodes
+    t = _target_index(graph, target)
+    m_t = absorbing_transition_matrix(graph, target)
+    fundamental = np.linalg.inv(np.eye(n - 1) - m_t)
+    return _pad_target(fundamental, t, n)
+
+
+def grounded_inverse(graph: Graph, target) -> np.ndarray:
+    """Newman's ``T``: ``(D_t - A_t)^{-1}`` padded with target zeros (Eq. 3).
+
+    ``T[i, s] = expected_visits[i, s] / d(i)``; the identity is exercised
+    by the test suite.
+    """
+    _check_graph(graph)
+    n = graph.num_nodes
+    t = _target_index(graph, target)
+    laplacian = graph.laplacian_matrix()
+    keep = np.arange(n) != t
+    reduced = laplacian[np.ix_(keep, keep)]
+    inverse = np.linalg.inv(reduced)
+    return _pad_target(inverse, t, n)
+
+
+def _pad_target(reduced: np.ndarray, t: int, n: int) -> np.ndarray:
+    """Insert a zero row and column at index ``t``."""
+    full = np.zeros((n, n))
+    keep = np.arange(n) != t
+    full[np.ix_(keep, keep)] = reduced
+    return full
+
+
+def surviving_mass(graph: Graph, target, rounds: int) -> np.ndarray:
+    """Fraction of walks still alive after each round, per source.
+
+    Returns an array ``S`` of shape ``(rounds + 1, n)``: ``S[r, s]`` is the
+    probability the walk from source ``s`` has not yet been absorbed after
+    ``r`` steps (``S[0] = 1`` except at the target).  ``S[r].max()`` is
+    exactly the ``||M_t^r||_1``-controlled quantity of Theorem 1.
+    """
+    _check_graph(graph)
+    if rounds < 0:
+        raise GraphError("rounds must be >= 0")
+    n = graph.num_nodes
+    t = _target_index(graph, target)
+    m_t = absorbing_transition_matrix(graph, target)
+    keep = np.arange(n) != t
+    mass = np.zeros((rounds + 1, n))
+    state = np.eye(n - 1)  # column s = distribution of walk from source s
+    mass[0, keep] = 1.0
+    for r in range(1, rounds + 1):
+        state = m_t @ state
+        mass[r, keep] = state.sum(axis=0)
+    return mass
+
+
+def absorption_probability_by_round(
+    graph: Graph, target, rounds: int
+) -> np.ndarray:
+    """``P[walk from s absorbed within r steps]``, shape (rounds+1, n)."""
+    mass = surviving_mass(graph, target, rounds)
+    return 1.0 - mass
+
+
+def visit_counts_truncated(
+    graph: Graph, target, length: int
+) -> np.ndarray:
+    """Expected visits of the *truncated* walk: ``sum_{r=0}^{l} M_t^r``.
+
+    This is the quantity the distributed algorithm actually estimates
+    (walks die after ``l`` hops); comparing it with
+    :func:`expected_visits` isolates the Theorem 2 truncation error from
+    the Theorem 3 sampling error.
+    """
+    _check_graph(graph)
+    if length < 0:
+        raise GraphError("length must be >= 0")
+    n = graph.num_nodes
+    t = _target_index(graph, target)
+    m_t = absorbing_transition_matrix(graph, target)
+    total = np.eye(n - 1)
+    power = np.eye(n - 1)
+    for _ in range(length):
+        power = m_t @ power
+        total += power
+    return _pad_target(total, t, n)

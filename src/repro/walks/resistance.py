@@ -1,0 +1,100 @@
+"""Effective resistance, hitting and commute times.
+
+Newman's betweenness is the current-flow measure, so the electrical view
+is the natural cross-check layer: the grounded inverse ``T`` used by the
+solvers is a generalized inverse of the Laplacian, effective resistance
+is a metric on the nodes, and the classical identities
+
+* ``commute(u, v) = 2 m * R_eff(u, v)``  (Chandra et al.)
+* ``sum over edges of R_eff = n - 1``   (Foster's theorem)
+
+tie the walk machinery (:mod:`repro.walks.absorbing`) to the Laplacian
+pseudoinverse computed here.  The test suite asserts both identities,
+giving an independent consistency proof of the whole matrix layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.properties import is_connected
+from repro.walks.absorbing import expected_visits
+
+
+def laplacian_pseudoinverse(graph: Graph) -> np.ndarray:
+    """Moore-Penrose pseudoinverse of the graph Laplacian.
+
+    Computed by deflating the all-ones nullspace (exact for connected
+    graphs) rather than an SVD, so it is both faster and numerically
+    cleaner: ``L^+ = (L + J/n)^{-1} - J/n`` with ``J`` the all-ones
+    matrix.
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("pseudoinverse needs at least 2 nodes")
+    if not is_connected(graph):
+        raise GraphError("Laplacian pseudoinverse requires connectivity")
+    n = graph.num_nodes
+    laplacian = graph.laplacian_matrix()
+    ones_projector = np.full((n, n), 1.0 / n)
+    return np.linalg.inv(laplacian + ones_projector) - ones_projector
+
+
+def resistance_matrix(graph: Graph) -> np.ndarray:
+    """``R[u, v] = L+_uu + L+_vv - 2 L+_uv`` in canonical order."""
+    plus = laplacian_pseudoinverse(graph)
+    diagonal = np.diag(plus)
+    return diagonal[:, None] + diagonal[None, :] - 2.0 * plus
+
+
+def effective_resistance(graph: Graph, u, v) -> float:
+    """Effective resistance between two nodes (unit-conductance edges)."""
+    if u == v:
+        return 0.0
+    matrix = resistance_matrix(graph)
+    return float(matrix[graph.index_of(u), graph.index_of(v)])
+
+
+def hitting_time(graph: Graph, source, target) -> float:
+    """Expected steps for a walk from ``source`` to first reach ``target``.
+
+    Computed from the absorbing chain: the column sum of the expected
+    visit counts (every step of the walk is a visit to some node).
+    """
+    if source == target:
+        return 0.0
+    visits = expected_visits(graph, target)
+    return float(visits[:, graph.index_of(source)].sum())
+
+
+def commute_time(graph: Graph, u, v) -> float:
+    """``hitting(u, v) + hitting(v, u)``."""
+    return hitting_time(graph, u, v) + hitting_time(graph, v, u)
+
+
+def commute_time_via_resistance(graph: Graph, u, v) -> float:
+    """The Chandra et al. identity ``2 m * R_eff(u, v)``.
+
+    Agreement with :func:`commute_time` (which never touches the
+    Laplacian) is asserted by the test suite.
+    """
+    return 2.0 * graph.num_edges * effective_resistance(graph, u, v)
+
+
+def foster_total(graph: Graph) -> float:
+    """``sum over edges of R_eff(u, v)``; Foster's theorem says ``n - 1``."""
+    matrix = resistance_matrix(graph)
+    total = 0.0
+    for u, v in graph.edges():
+        total += matrix[graph.index_of(u), graph.index_of(v)]
+    return float(total)
+
+
+def spanning_tree_edge_probability(graph: Graph, u, v) -> float:
+    """Probability the edge ``{u, v}`` is in a uniform spanning tree.
+
+    By Kirchhoff's theorem this equals the edge's effective resistance.
+    """
+    if not graph.has_edge(u, v):
+        raise GraphError(f"{{{u!r}, {v!r}}} is not an edge")
+    return effective_resistance(graph, u, v)

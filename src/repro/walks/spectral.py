@@ -1,0 +1,127 @@
+"""Spectral analysis of the absorbing walk (Theorem 1 machinery).
+
+Theorem 1 argues: the substochastic matrix ``M_t`` has spectral radius
+``lambda < 1`` (via ``||M_t^D||_1 < 1``), so the surviving walk mass
+decays like ``~ lambda^k`` and ``l = O(n)`` rounds leave at most an
+``epsilon`` fraction alive.  These helpers compute the actual ``lambda``
+and the actual smallest truncation length achieving a target ``epsilon``,
+so the experiments can compare the proof's worst case against measured
+behaviour per graph family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.absorbing import absorbing_transition_matrix, surviving_mass
+
+
+def spectral_radius_absorbing(graph: Graph, target) -> float:
+    """Spectral radius of ``M_t`` (strictly < 1 on connected graphs)."""
+    m_t = absorbing_transition_matrix(graph, target)
+    eigenvalues = np.linalg.eigvals(m_t)
+    return float(np.max(np.abs(eigenvalues)))
+
+
+def decay_rate(graph: Graph, target, horizon: int | None = None) -> float:
+    """Empirical per-round survival decay: the geometric rate fitted to
+    ``max_s P[walk from s alive after r rounds]`` over the window where it
+    is numerically meaningful.
+
+    Returns a value in (0, 1); smaller means faster absorption.
+    """
+    n = graph.num_nodes
+    if horizon is None:
+        horizon = max(8, 4 * n)
+    mass = surviving_mass(graph, target, horizon).max(axis=1)
+    # Fit on the geometric tail, skipping the transient head.
+    head = max(1, horizon // 4)
+    tail = mass[head:]
+    positive = tail > 1e-300
+    if positive.sum() < 2:
+        return 0.0
+    values = np.log(tail[positive])
+    rounds = np.arange(head, horizon + 1)[positive]
+    slope = np.polyfit(rounds, values, 1)[0]
+    return float(np.exp(slope))
+
+
+def length_for_epsilon(
+    graph: Graph, target, epsilon: float, max_length: int | None = None
+) -> int:
+    """Smallest ``l`` with ``max_s P[alive after l rounds] <= epsilon``.
+
+    This is the exact, per-instance version of Theorem 1's ``l = O(n)``:
+    the theorem guarantees such an ``l`` exists and is linear in ``n``;
+    this function measures it.
+
+    Raises
+    ------
+    GraphError
+        If ``epsilon`` is outside (0, 1) or the search limit is hit
+        (numerically possible only on pathological inputs).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise GraphError("epsilon must be in (0, 1)")
+    n = graph.num_nodes
+    if max_length is None:
+        # Theorem 1 promises O(n); leave generous slack for the constant,
+        # which depends on the spectral gap.
+        max_length = max(200, 200 * n)
+    m_t = absorbing_transition_matrix(graph, target)
+    state = np.eye(n - 1)
+    length = 0
+    while length <= max_length:
+        alive = state.sum(axis=0).max()
+        if alive <= epsilon:
+            return length
+        state = m_t @ state
+        length += 1
+    raise GraphError(
+        f"survival did not fall below {epsilon} within {max_length} rounds"
+    )
+
+
+def algebraic_connectivity(graph: Graph) -> float:
+    """The Fiedler value: second-smallest Laplacian eigenvalue.
+
+    The spectral gap behind Theorem 1's hidden constant: absorption
+    speed (hence the honest walk length ``l(eps)``) scales like
+    ``1/gap``, which is why cycles (gap ``Theta(1/n^2)``) need
+    quadratic walks while expanders (constant gap) live up to the
+    theorem's ``l = O(n)`` (experiment E2).
+    """
+    from repro.graphs.properties import is_connected
+
+    if graph.num_nodes < 2:
+        raise GraphError("algebraic connectivity needs >= 2 nodes")
+    if not is_connected(graph):
+        return 0.0
+    eigenvalues = np.linalg.eigvalsh(graph.laplacian_matrix())
+    return float(np.sort(eigenvalues)[1])
+
+
+def relaxation_time(graph: Graph) -> float:
+    """``1 / algebraic connectivity``: the walk's mixing-time scale."""
+    gap = algebraic_connectivity(graph)
+    if gap <= 0:
+        raise GraphError("relaxation time undefined: disconnected graph")
+    return 1.0 / gap
+
+
+def theorem1_summary(
+    graph: Graph, target, epsilons: tuple[float, ...] = (0.1, 0.01, 0.001)
+) -> dict[str, float]:
+    """One row of the E2 experiment: spectral radius, decay rate, and the
+    measured ``l(epsilon)`` for several epsilon values."""
+    summary: dict[str, float] = {
+        "n": float(graph.num_nodes),
+        "spectral_radius": spectral_radius_absorbing(graph, target),
+        "decay_rate": decay_rate(graph, target),
+    }
+    for epsilon in epsilons:
+        summary[f"l(eps={epsilon})"] = float(
+            length_for_epsilon(graph, target, epsilon)
+        )
+    return summary

@@ -1,0 +1,60 @@
+"""The walk token: what one random walk looks like on the wire.
+
+Algorithm 1 moves walks as messages carrying ``(source, remaining
+length)``.  Both fields are ``O(log n)``-bit integers (the paper's
+Theorem 4 relies on this).  Tokens with identical fields are
+interchangeable, which is what makes the BATCH transport policy sound:
+``k`` identical tokens compress into one ``(source, remaining, k)``
+message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congest.errors import ProtocolError
+
+
+@dataclass(frozen=True, slots=True)
+class WalkToken:
+    """One in-flight random walk.
+
+    Attributes
+    ----------
+    source:
+        The node the walk started at (``s`` in the paper's notation).
+    remaining:
+        Hops left before forced termination (``length`` in Algorithm 1).
+    """
+
+    source: int
+    remaining: int
+
+    def __post_init__(self) -> None:
+        if self.remaining < 0:
+            raise ProtocolError(
+                f"walk token remaining length {self.remaining} < 0"
+            )
+
+    def hop(self) -> "WalkToken":
+        """The token after one more hop (one unit of length consumed)."""
+        if self.remaining == 0:
+            raise ProtocolError("cannot hop a token with remaining == 0")
+        return WalkToken(self.source, self.remaining - 1)
+
+    @property
+    def expired(self) -> bool:
+        """True when the walk must stop (length budget exhausted)."""
+        return self.remaining == 0
+
+    def as_fields(self) -> tuple[int, int]:
+        """Wire encoding (source, remaining)."""
+        return (self.source, self.remaining)
+
+    @classmethod
+    def from_fields(cls, fields: tuple[int, ...]) -> "WalkToken":
+        if len(fields) != 2:
+            raise ProtocolError(
+                f"walk message must have 2 fields, got {len(fields)}"
+            )
+        return cls(source=fields[0], remaining=fields[1])

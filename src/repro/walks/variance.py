@@ -1,0 +1,67 @@
+"""Second moments of absorbing-walk visit counts.
+
+Theorem 3's Chernoff argument assumes the per-node visit count behaves
+like a sum of well-concentrated contributions with ``E[X] = cK``.  The
+actual *variance* of a single walk's visit count is computable in closed
+form from the fundamental matrix ``N = (I - M_t)^{-1}``:
+
+    Var[visits to i | start s] = N_is * (2 * N_ii - 1) - N_is^2
+
+(standard absorbing-chain identity; ``N_ii`` is the expected number of
+returns to ``i`` once there, which is exactly what explodes on trees and
+barbells - a walk that reaches a remote branch bounces there many times).
+The experiments use this to *predict* which families need larger K, and
+a test validates the identity against simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.absorbing import expected_visits
+
+
+def visit_count_variance(graph: Graph, target) -> np.ndarray:
+    """``Var[visits to i | walk from s]`` as an (n, n) array ``V[i, s]``.
+
+    Rows/columns at the absorbing target are zero.
+    """
+    visits = expected_visits(graph, target)
+    diagonal = np.diag(visits)
+    variance = visits * (2.0 * diagonal[:, None] - 1.0) - visits**2
+    # Numerical floor: true variances are >= 0.
+    return np.maximum(variance, 0.0)
+
+
+def relative_visit_dispersion(graph: Graph, target) -> float:
+    """Max over (i, s) of ``std / mean`` for visit counts with mean > 0.
+
+    The practical "how much bigger must K be" factor: Theorem 3's
+    constant scales with the square of this dispersion.  Expanders sit
+    near 1-3; trees and barbells reach an order of magnitude more.
+    """
+    visits = expected_visits(graph, target)
+    variance = visit_count_variance(graph, target)
+    mask = visits > 1e-12
+    if not mask.any():
+        raise GraphError("no visited (node, source) pairs")
+    dispersion = np.sqrt(variance[mask]) / visits[mask]
+    return float(dispersion.max())
+
+
+def walks_needed_for_dispersion(
+    graph: Graph, target, delta: float = 0.25, failure: float = 0.05
+) -> int:
+    """A Chebyshev-based K estimate honoring the measured dispersion.
+
+    ``P[|mean_K - mu| > delta mu] <= (sigma/mu)^2 / (K delta^2)``; solving
+    for the worst (i, s) pair gives a per-instance K that the uniform
+    ``O(log n)`` schedule can underestimate on heavy-tailed families.
+    """
+    if not 0 < delta < 1:
+        raise GraphError("delta must be in (0, 1)")
+    if not 0 < failure < 1:
+        raise GraphError("failure must be in (0, 1)")
+    dispersion = relative_visit_dispersion(graph, target)
+    return max(1, int(np.ceil(dispersion**2 / (failure * delta**2))))

@@ -1,0 +1,140 @@
+"""Tests for error metrics, ranking, and complexity fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.error import (
+    compare_centrality,
+    max_absolute_error,
+    max_relative_error,
+    mean_absolute_error,
+    mean_relative_error,
+)
+from repro.analysis.fitting import fit_nlogn, fit_power_law
+from repro.analysis.ranking import kendall_tau, spearman_rho, top_k_overlap
+from repro.graphs.graph import GraphError
+
+
+class TestErrors:
+    def test_identical_zero_error(self):
+        values = {0: 1.0, 1: 2.0}
+        summary = compare_centrality(values, values)
+        assert summary.max_absolute == 0.0
+        assert summary.mean_relative == 0.0
+
+    def test_known_values(self):
+        estimate = {0: 1.1, 1: 1.8}
+        exact = {0: 1.0, 1: 2.0}
+        assert max_absolute_error(estimate, exact) == pytest.approx(0.2)
+        assert mean_absolute_error(estimate, exact) == pytest.approx(0.15)
+        assert max_relative_error(estimate, exact) == pytest.approx(0.1)
+        assert mean_relative_error(estimate, exact) == pytest.approx(0.1)
+
+    def test_zero_reference_skipped(self):
+        estimate = {0: 0.5, 1: 1.5}
+        exact = {0: 0.0, 1: 1.0}
+        assert max_relative_error(estimate, exact) == pytest.approx(0.5)
+
+    def test_all_zero_reference_rejected(self):
+        with pytest.raises(GraphError):
+            max_relative_error({0: 1.0}, {0: 0.0})
+
+    def test_mismatched_keys(self):
+        with pytest.raises(GraphError):
+            max_absolute_error({0: 1.0}, {1: 1.0})
+
+    def test_empty(self):
+        with pytest.raises(GraphError):
+            max_absolute_error({}, {})
+
+    def test_as_dict(self):
+        summary = compare_centrality({0: 1.0}, {0: 2.0})
+        assert set(summary.as_dict()) == {
+            "max_abs",
+            "mean_abs",
+            "max_rel",
+            "mean_rel",
+        }
+
+
+class TestRanking:
+    def test_perfect_agreement(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+        assert spearman_rho(a, a) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        b = {0: 3.0, 1: 2.0, 2: 1.0}
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+        assert spearman_rho(a, b) == pytest.approx(-1.0)
+
+    def test_top_k(self):
+        a = {0: 5.0, 1: 4.0, 2: 1.0, 3: 0.5}
+        b = {0: 5.0, 1: 0.1, 2: 4.0, 3: 0.5}
+        assert top_k_overlap(a, b, 1) == 1.0
+        assert top_k_overlap(a, b, 2) == 0.5
+
+    def test_top_k_bounds(self):
+        a = {0: 1.0, 1: 2.0}
+        with pytest.raises(GraphError):
+            top_k_overlap(a, a, 0)
+        with pytest.raises(GraphError):
+            top_k_overlap(a, a, 3)
+
+    def test_too_few_nodes(self):
+        with pytest.raises(GraphError):
+            kendall_tau({0: 1.0}, {0: 1.0})
+
+
+class TestFitting:
+    def test_exact_power_law_recovered(self):
+        xs = np.array([10.0, 20.0, 40.0, 80.0])
+        ys = 3.0 * xs**1.7
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.7, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        assert fit.predict(8.0) == pytest.approx(16.0, rel=1e-6)
+
+    def test_nlogn_recovered(self):
+        xs = np.array([16.0, 64.0, 256.0, 1024.0])
+        ys = 2.5 * xs * np.log2(xs)
+        fit = fit_nlogn(xs, ys)
+        assert fit.coefficient == pytest.approx(2.5, rel=1e-9)
+        assert fit.max_relative_residual < 1e-9
+
+    def test_nlogn_rejects_linear(self):
+        """Purely linear data shows visible residuals against n log n."""
+        xs = np.array([16.0, 64.0, 256.0, 1024.0])
+        ys = 5.0 * xs
+        fit = fit_nlogn(xs, ys)
+        assert fit.max_relative_residual > 0.2
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(GraphError):
+            fit_power_law([1.0, -1.0], [1.0, 1.0])
+        with pytest.raises(GraphError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(0.1, 100.0), min_size=2, max_size=20, unique=True
+    )
+)
+def test_rank_metrics_bounded(values):
+    a = {i: v for i, v in enumerate(values)}
+    shuffled = list(values)
+    np.random.default_rng(0).shuffle(shuffled)
+    b = {i: v for i, v in enumerate(shuffled)}
+    assert -1.0 - 1e-9 <= kendall_tau(a, b) <= 1.0 + 1e-9
+    assert -1.0 - 1e-9 <= spearman_rho(a, b) <= 1.0 + 1e-9

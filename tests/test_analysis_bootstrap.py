@@ -1,0 +1,68 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    bootstrap_mean_ci,
+    seeds_needed_for_width,
+)
+from repro.graphs.graph import GraphError
+
+
+class TestBootstrapCI:
+    def test_point_is_sample_mean(self):
+        interval = bootstrap_mean_ci([1.0, 2.0, 3.0], seed=0)
+        assert interval.point == pytest.approx(2.0)
+
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 40
+        for t in range(trials):
+            samples = rng.normal(5.0, 1.0, size=30)
+            interval = bootstrap_mean_ci(samples, confidence=0.95, seed=t)
+            hits += interval.contains(5.0)
+        assert hits >= 0.85 * trials
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_mean_ci(rng.normal(size=10), seed=0)
+        large = bootstrap_mean_ci(rng.normal(size=1000), seed=0)
+        assert large.width < small.width / 3
+
+    def test_reproducible(self):
+        samples = [0.1, 0.4, 0.2, 0.9]
+        a = bootstrap_mean_ci(samples, seed=7)
+        b = bootstrap_mean_ci(samples, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_degenerate_samples(self):
+        interval = bootstrap_mean_ci([3.0, 3.0, 3.0], seed=0)
+        assert interval.low == interval.high == 3.0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            bootstrap_mean_ci([])
+        with pytest.raises(GraphError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(GraphError):
+            bootstrap_mean_ci([1.0], resamples=2)
+
+
+class TestSeedsNeeded:
+    def test_already_tight(self):
+        samples = [1.0] * 10
+        assert seeds_needed_for_width(samples, 0.5, seed=0) == 10
+
+    def test_scaling(self):
+        rng = np.random.default_rng(3)
+        samples = list(rng.normal(size=20))
+        current = bootstrap_mean_ci(samples, seed=0).width
+        needed = seeds_needed_for_width(samples, current / 2, seed=0)
+        # Halving the width needs ~4x the seeds.
+        assert 60 <= needed <= 100
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            seeds_needed_for_width([1.0, 2.0], 0.0)

@@ -1,0 +1,82 @@
+"""Tests for pivot-sampled approximate SPBC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.approx_spbc import approximate_shortest_path_betweenness
+from repro.baselines.brandes import shortest_path_betweenness
+from repro.graphs.generators import (
+    barbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestApproxSPBC:
+    def test_all_pivots_is_exact(self):
+        graph = erdos_renyi_graph(15, 0.3, seed=0, ensure_connected=True)
+        exact = shortest_path_betweenness(graph)
+        approx = approximate_shortest_path_betweenness(
+            graph, pivots=graph.num_nodes, seed=0
+        )
+        for node in graph.nodes():
+            assert approx[node] == pytest.approx(exact[node], abs=1e-10)
+
+    def test_unbiased_over_seeds(self):
+        graph = grid_graph(4, 4)
+        exact = shortest_path_betweenness(graph)
+        estimates = [
+            approximate_shortest_path_betweenness(graph, pivots=4, seed=s)
+            for s in range(60)
+        ]
+        for node in list(graph.nodes())[:5]:
+            mean = np.mean([e[node] for e in estimates])
+            assert mean == pytest.approx(exact[node], abs=0.05)
+
+    def test_error_shrinks_with_pivots(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=1, ensure_connected=True)
+        exact = shortest_path_betweenness(graph)
+
+        def mean_error(pivots):
+            errors = []
+            for s in range(8):
+                est = approximate_shortest_path_betweenness(
+                    graph, pivots=pivots, seed=s
+                )
+                errors.append(
+                    np.mean([abs(est[v] - exact[v]) for v in graph.nodes()])
+                )
+            return np.mean(errors)
+
+        assert mean_error(16) < mean_error(2)
+
+    def test_hub_found_with_few_pivots(self):
+        graph = star_graph(12)
+        approx = approximate_shortest_path_betweenness(graph, pivots=3, seed=2)
+        assert max(approx, key=approx.get) == 0
+
+    def test_bridge_found(self):
+        graph = barbell_graph(5, 1)
+        approx = approximate_shortest_path_betweenness(graph, pivots=4, seed=3)
+        # Bridge node 5 and attachments 4/6 dominate.
+        top = sorted(approx, key=approx.get, reverse=True)[:3]
+        assert 5 in top
+
+    def test_validation(self):
+        graph = star_graph(5)
+        with pytest.raises(GraphError):
+            approximate_shortest_path_betweenness(graph, pivots=0)
+        with pytest.raises(GraphError):
+            approximate_shortest_path_betweenness(graph, pivots=99)
+        with pytest.raises(GraphError):
+            approximate_shortest_path_betweenness(Graph(), pivots=1)
+
+    def test_unnormalized(self):
+        graph = star_graph(6)
+        raw = approximate_shortest_path_betweenness(
+            graph, pivots=6, normalized=False
+        )
+        # Hub carries all C(5, 2) = 10 leaf pairs.
+        assert raw[0] == pytest.approx(10.0)

@@ -1,0 +1,264 @@
+"""Tests for the comparator measures (sections I-II of the paper)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.alpha_cfbc import (
+    alpha_cfbc_montecarlo,
+    alpha_current_flow_betweenness,
+)
+from repro.baselines.brandes import shortest_path_betweenness
+from repro.baselines.flow_betweenness import flow_betweenness
+from repro.baselines.maxflow import max_flow
+from repro.baselines.networkx_oracle import (
+    networkx_rwbc,
+    newman_rwbc_via_networkx,
+)
+from repro.baselines.pagerank import (
+    pagerank_distributed,
+    pagerank_montecarlo,
+    pagerank_power_iteration,
+)
+from repro.core.exact import rwbc_exact
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestBrandes:
+    def test_path_center(self):
+        values = shortest_path_betweenness(path_graph(5), normalized=False)
+        # Middle node of P5 lies on 2*2 = 4 of the 6 pairs... exactly:
+        # pairs through node 2: (0,3),(0,4),(1,3),(1,4) = 4.
+        assert values[2] == pytest.approx(4.0)
+        assert values[0] == pytest.approx(0.0)
+
+    def test_star_hub(self):
+        n = 7
+        values = shortest_path_betweenness(star_graph(n), normalized=True)
+        assert values[0] == pytest.approx(1.0)
+        for leaf in range(1, n):
+            assert values[leaf] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        graph = erdos_renyi_graph(14, 0.3, seed=seed, ensure_connected=True)
+        mine = shortest_path_betweenness(graph, normalized=True)
+        oracle = nx.betweenness_centrality(to_networkx(graph), normalized=True)
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(oracle[node], abs=1e-10)
+
+    def test_endpoints_variant(self):
+        graph = path_graph(3)
+        values = shortest_path_betweenness(
+            graph, normalized=False, include_endpoints=True
+        )
+        # Node 1: interior pair (0,2) = 1, endpoint pairs (0,1),(1,2) = 2.
+        assert values[1] == pytest.approx(3.0)
+        assert values[0] == pytest.approx(2.0)
+
+    def test_disconnected_ok(self):
+        values = shortest_path_betweenness(
+            Graph(edges=[(0, 1), (2, 3)]), normalized=False
+        )
+        assert all(v == 0.0 for v in values.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            shortest_path_betweenness(Graph())
+
+
+class TestMaxFlow:
+    def test_path_unit_flow(self):
+        result = max_flow(path_graph(4), 0, 3)
+        assert result.value == pytest.approx(1.0)
+
+    def test_parallel_routes(self):
+        # Two node-disjoint paths 0->3 give max flow 2.
+        graph = Graph(edges=[(0, 1), (1, 3), (0, 2), (2, 3)])
+        result = max_flow(graph, 0, 3)
+        assert result.value == pytest.approx(2.0)
+
+    def test_complete_graph(self):
+        n = 6
+        result = max_flow(complete_graph(n), 0, 1)
+        assert result.value == pytest.approx(n - 1)
+
+    def test_matches_networkx(self):
+        for seed in range(3):
+            graph = erdos_renyi_graph(12, 0.35, seed=seed, ensure_connected=True)
+            nxg = to_networkx(graph)
+            nx.set_edge_attributes(nxg, 1.0, "capacity")
+            expected = nx.maximum_flow_value(nxg, 0, 5)
+            assert max_flow(graph, 0, 5).value == pytest.approx(expected)
+
+    def test_flow_conservation(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=7, ensure_connected=True)
+        result = max_flow(graph, 0, 9)
+        net = {node: 0.0 for node in graph.nodes()}
+        for (u, v), f in result.flow.items():
+            net[u] -= f
+            net[v] += f
+        for node in graph.nodes():
+            if node == 0:
+                assert net[node] == pytest.approx(-result.value)
+            elif node == 9:
+                assert net[node] == pytest.approx(result.value)
+            else:
+                assert net[node] == pytest.approx(0.0, abs=1e-9)
+
+    def test_through_node_endpoint(self):
+        result = max_flow(path_graph(3), 0, 2)
+        assert result.through_node(0, 0, 2) == result.value
+        assert result.through_node(1, 0, 2) == pytest.approx(result.value)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(GraphError):
+            max_flow(path_graph(3), 1, 1)
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(GraphError):
+            max_flow(path_graph(3), 0, 9)
+
+
+class TestFlowBetweenness:
+    def test_path_center_share(self):
+        values = flow_betweenness(path_graph(5))
+        # Node 2 carries the 4 spanning pairs out of the 6 pairs among
+        # the other nodes (Freeman's share-of-flow normalization).
+        assert values[2] == pytest.approx(4.0 / 6.0)
+        assert values[2] == max(values.values())
+
+    def test_star(self):
+        values = flow_betweenness(star_graph(6))
+        assert values[0] == pytest.approx(1.0)
+        for leaf in range(1, 6):
+            assert values[leaf] == pytest.approx(0.0)
+
+    def test_bridge_region_dominates(self):
+        """The bridge node and the two clique-attachment nodes outrank the
+        clique interiors (attachments can outrank the bridge itself under
+        Freeman's normalization, since intra-clique flows also cross them).
+        """
+        graph = barbell_graph(4, 1)
+        values = flow_betweenness(graph)
+        top3 = sorted(values, key=values.get, reverse=True)[:3]
+        assert set(top3) == {3, 4, 5}
+        interior = [0, 1, 2, 6, 7, 8]
+        assert values[4] > max(values[v] for v in interior)
+
+    def test_unnormalized_scale(self):
+        raw = flow_betweenness(path_graph(3), normalized=False)
+        assert raw[1] == pytest.approx(1.0)  # one pair, unit flow
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            flow_betweenness(Graph(edges=[(0, 1), (2, 3)]))
+
+
+class TestPageRank:
+    def test_power_iteration_sums_to_one(self):
+        graph = erdos_renyi_graph(15, 0.3, seed=1, ensure_connected=True)
+        ranks = pagerank_power_iteration(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi_graph(15, 0.3, seed=2, ensure_connected=True)
+        mine = pagerank_power_iteration(graph, reset_probability=0.15)
+        oracle = nx.pagerank(to_networkx(graph), alpha=0.85, tol=1e-12)
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(oracle[node], abs=1e-6)
+
+    def test_star_hub_dominates(self):
+        ranks = pagerank_power_iteration(star_graph(8))
+        assert ranks[0] == max(ranks.values())
+
+    def test_montecarlo_approximates_exact(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=3, ensure_connected=True)
+        exact = pagerank_power_iteration(graph)
+        estimate = pagerank_montecarlo(graph, walks_per_node=4000, seed=3)
+        for node in graph.nodes():
+            assert estimate[node] == pytest.approx(exact[node], abs=0.02)
+
+    def test_distributed_approximates_exact(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=4, ensure_connected=True)
+        exact = pagerank_power_iteration(graph)
+        estimate = pagerank_distributed(graph, walks_per_node=3000, seed=4)
+        for node in graph.nodes():
+            assert estimate[node] == pytest.approx(exact[node], abs=0.03)
+
+    def test_invalid_reset(self):
+        with pytest.raises(GraphError):
+            pagerank_power_iteration(path_graph(3), reset_probability=0.0)
+
+    def test_isolated_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank_power_iteration(Graph(nodes=[0, 1], edges=[]))
+
+
+class TestAlphaCFBC:
+    def test_alpha_one_equals_rwbc(self):
+        graph = grid_graph(3, 3)
+        damped = alpha_current_flow_betweenness(graph, alpha=1.0)
+        exact = rwbc_exact(graph)
+        for node in graph.nodes():
+            assert damped[node] == pytest.approx(exact[node], abs=1e-9)
+
+    def test_converges_to_rwbc_as_alpha_grows(self):
+        graph = cycle_graph(9)
+        exact = rwbc_exact(graph)
+
+        def distance(alpha):
+            values = alpha_current_flow_betweenness(graph, alpha=alpha)
+            return max(abs(values[v] - exact[v]) for v in graph.nodes())
+
+        assert distance(0.999) < distance(0.9) < distance(0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(GraphError):
+            alpha_current_flow_betweenness(cycle_graph(5), alpha=0.0)
+        with pytest.raises(GraphError):
+            alpha_current_flow_betweenness(cycle_graph(5), alpha=1.5)
+
+    def test_montecarlo_approximates_exact(self):
+        graph = grid_graph(3, 3)
+        alpha = 0.8
+        exact = alpha_current_flow_betweenness(graph, alpha=alpha)
+        estimate = alpha_cfbc_montecarlo(
+            graph, alpha=alpha, walks_per_source=4000, seed=5
+        )
+        for node in graph.nodes():
+            assert estimate[node] == pytest.approx(exact[node], rel=0.2, abs=0.03)
+
+    def test_montecarlo_alpha_bounds(self):
+        with pytest.raises(GraphError):
+            alpha_cfbc_montecarlo(cycle_graph(5), alpha=1.0)
+
+
+class TestNetworkxOracle:
+    def test_conversion_roundtrip(self):
+        graph = erdos_renyi_graph(11, 0.4, seed=6, ensure_connected=True)
+        newman = newman_rwbc_via_networkx(graph)
+        exact = rwbc_exact(graph)
+        for node in graph.nodes():
+            assert newman[node] == pytest.approx(exact[node], abs=1e-8)
+
+    def test_raw_oracle_matches_no_endpoints(self):
+        graph = grid_graph(3, 4)
+        oracle = networkx_rwbc(graph)
+        mine = rwbc_exact(graph, include_endpoints=False)
+        for node in graph.nodes():
+            assert oracle[node] == pytest.approx(mine[node], abs=1e-8)
+
+    def test_small_graph_rejected(self):
+        with pytest.raises(GraphError):
+            networkx_rwbc(path_graph(2))

@@ -1,0 +1,175 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import path_graph
+from repro.graphs.io import write_edge_list
+
+
+class TestExact:
+    def test_family(self, capsys):
+        assert main(["exact", "--family", "cycle", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "exact RWBC" in out
+        assert "n=8" in out
+
+    def test_dataset(self, capsys):
+        assert main(["exact", "--dataset", "florentine", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        # Medici top the betweenness ranking.
+        assert "Medici" in out.splitlines()[1]
+
+    def test_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.edges"
+        write_edge_list(path_graph(4), path)
+        assert main(["exact", "--edge-list", str(path)]) == 0
+        assert "n=4" in capsys.readouterr().out
+
+    def test_top_limits_output(self, capsys):
+        main(["exact", "--family", "cycle", "--n", "10", "--top", "2"])
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3  # header + 2 rows
+
+    def test_no_endpoints(self, capsys):
+        main(["exact", "--family", "path", "--n", "3", "--no-endpoints"])
+        out = capsys.readouterr().out
+        assert "0.000000" in out  # path ends score 0 in nx convention
+
+
+class TestEstimate:
+    def test_montecarlo(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--family",
+                "cycle",
+                "--n",
+                "8",
+                "--engine",
+                "montecarlo",
+                "--length",
+                "40",
+                "--walks",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "montecarlo RWBC" in capsys.readouterr().out
+
+    def test_distributed(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--family",
+                "path",
+                "--n",
+                "6",
+                "--length",
+                "30",
+                "--walks",
+                "10",
+                "--policy",
+                "batch",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distributed RWBC" in out
+        assert "rounds=" in out
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "--family", "star", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        for column in ("rwbc", "spbc", "pagerank", "alpha_cfbc"):
+            assert column in out
+
+    def test_diameter(self, capsys):
+        assert main(["diameter", "--family", "path", "--n", "7"]) == 0
+        assert "diameter=6" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "karate" in out
+        assert "er" in out
+
+
+class TestEdgesAndCommunities:
+    def test_edges(self, capsys):
+        assert main(["edges", "--family", "barbell", "--n", "10", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "edge current-flow betweenness" in out
+        assert len(out.strip().splitlines()) == 4
+
+    def test_communities_caveman(self, capsys):
+        assert main(["communities", "--family", "caveman", "--n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "2 communities" in out
+        assert "size 5" in out
+
+    def test_communities_karate(self, capsys):
+        assert main(["communities", "--dataset", "karate", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "size 17" in out
+
+    def test_communities_invalid_k(self, capsys):
+        assert main(["communities", "--family", "path", "--n", "3", "--k", "9"]) == 2
+
+
+class TestErrors:
+    def test_no_source(self, capsys):
+        assert main(["exact"]) == 0 or True  # default --n without family
+        # Explicit: no family/dataset/edge-list -> error exit 2.
+        code = main(["exact"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_two_sources(self, capsys):
+        code = main(
+            ["exact", "--family", "cycle", "--dataset", "karate"]
+        )
+        assert code == 2
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["exact", "--dataset", "nope"]) == 2
+
+    def test_unknown_family(self, capsys):
+        assert main(["exact", "--family", "nope"]) == 2
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDatasets:
+    def test_counts(self):
+        from repro.graphs.datasets import (
+            florentine_families,
+            karate_club,
+            les_miserables,
+        )
+
+        assert karate_club().num_nodes == 34
+        assert karate_club().num_edges == 78
+        assert florentine_families().num_nodes == 15
+        assert les_miserables().num_nodes == 77
+
+    def test_loader(self):
+        from repro.graphs.datasets import load_dataset
+        from repro.graphs.graph import GraphError
+
+        assert load_dataset("karate").num_nodes == 34
+        with pytest.raises(GraphError):
+            load_dataset("missing")
+
+    def test_karate_leaders_top_betweenness(self):
+        """The club's two real-world leaders top the RWBC ranking."""
+        from repro.core.exact import rwbc_exact
+        from repro.graphs.datasets import karate_club
+
+        values = rwbc_exact(karate_club())
+        top2 = sorted(values, key=lambda v: -values[v])[:2]
+        assert set(top2) == {0, 33}

@@ -1,0 +1,104 @@
+"""Tests for pipelined APSP and distributed diameter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest.primitives.apsp import (
+    distributed_apsp,
+    distributed_diameter,
+)
+from repro.graphs.generators import (
+    barbell_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.properties import bfs_distances, diameter
+
+
+class TestAPSP:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(8),
+            cycle_graph(9),
+            star_graph(7),
+            grid_graph(3, 4),
+            barbell_graph(4, 2),
+            random_tree(10, seed=1),
+        ],
+        ids=["path", "cycle", "star", "grid", "barbell", "tree"],
+    )
+    def test_distances_match_centralized(self, graph):
+        distances, _ = distributed_apsp(graph)
+        for source in graph.nodes():
+            expected = bfs_distances(graph, source)
+            got = {v: distances[v][source] for v in graph.nodes()}
+            assert got == expected
+
+    def test_symmetric(self):
+        graph = erdos_renyi_graph(15, 0.25, seed=2, ensure_connected=True)
+        distances, _ = distributed_apsp(graph)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert distances[u][v] == distances[v][u]
+
+    def test_round_complexity_linear(self):
+        """Pipelined APSP finishes in O(n + D) rounds, not O(n * D)."""
+        for n in (10, 20, 40):
+            graph = path_graph(n)  # worst case: D = n - 1
+            _, rounds = distributed_apsp(graph)
+            assert rounds <= 4 * n + 10, (n, rounds)
+
+    def test_dense_graph_fast(self):
+        graph = erdos_renyi_graph(20, 0.5, seed=3, ensure_connected=True)
+        _, rounds = distributed_apsp(graph)
+        assert rounds <= 3 * graph.num_nodes
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            distributed_apsp(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_arbitrary_labels(self):
+        graph = Graph(edges=[("x", "y"), ("y", "z")])
+        distances, _ = distributed_apsp(graph)
+        assert distances["x"]["z"] == 2
+
+
+class TestDiameter:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(7), cycle_graph(10), grid_graph(4, 4), star_graph(6)],
+        ids=["path", "cycle", "grid", "star"],
+    )
+    def test_matches_centralized(self, graph):
+        got, _ = distributed_diameter(graph)
+        assert got == diameter(graph)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(4, 16), seed=st.integers(0, 100))
+    def test_random_graphs(self, n, seed):
+        graph = erdos_renyi_graph(n, 0.4, seed=seed, ensure_connected=True)
+        got, _ = distributed_diameter(graph)
+        assert got == diameter(graph)
+
+
+class TestCloseness:
+    def test_closeness_from_programs(self):
+        from repro.congest.primitives.apsp import APSPProgram
+        from repro.congest.scheduler import run_program
+
+        graph = star_graph(7)
+        result = run_program(graph, APSPProgram)
+        # Hub: distance 1 to all leaves -> closeness 1.
+        assert result.program(0).closeness == pytest.approx(1.0)
+        # Leaves: 1 + 2*(n-2) total distance.
+        n = graph.num_nodes
+        expected = (n - 1) / (1 + 2 * (n - 2))
+        assert result.program(1).closeness == pytest.approx(expected)
+        assert result.program(1).eccentricity == 2

@@ -1,0 +1,141 @@
+"""Tests for the asynchronous executor + alpha synchronizer.
+
+The headline property: any deterministic synchronous program produces
+IDENTICAL outputs under the synchronizer on an asynchronous network with
+arbitrary (FIFO) message delays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest.asynchronous import AsyncSimulator, run_async
+from repro.congest.errors import ConfigError
+from repro.congest.node import NodeProgram
+from repro.congest.primitives.apsp import APSPProgram
+from repro.congest.primitives.bfs import make_bfs_factory
+from repro.congest.primitives.leader import LeaderElectionProgram
+from repro.congest.scheduler import run_program
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import bfs_distances, diameter
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), cycle_graph(7), grid_graph(3, 3), star_graph(6)],
+        ids=["path", "cycle", "grid", "star"],
+    )
+    @pytest.mark.parametrize("delay", [1.0, 5.0, 25.0])
+    def test_bfs_identical(self, graph, delay):
+        """Distances are delay-invariant; parents may differ (the inbox
+        order within one round is not specified by the model), but must
+        still form a valid BFS tree."""
+        sync = run_program(graph, make_bfs_factory(0))
+        async_result = run_async(
+            graph, make_bfs_factory(0), seed=1, max_delay=delay
+        )
+        for node in graph.nodes():
+            assert (
+                async_result.program(node).distance
+                == sync.program(node).distance
+            )
+            parent = async_result.program(node).parent
+            if parent is not None:
+                assert (
+                    async_result.program(parent).distance
+                    == async_result.program(node).distance - 1
+                )
+
+    def test_apsp_identical(self):
+        graph = erdos_renyi_graph(12, 0.3, seed=2, ensure_connected=True)
+        sync = run_program(graph, APSPProgram)
+        async_result = run_async(graph, APSPProgram, seed=2, max_delay=8.0)
+        for node in graph.nodes():
+            assert (
+                async_result.program(node).distances
+                == sync.program(node).distances
+            )
+
+    def test_leader_election_identical(self):
+        """Same seed => same ranks => same leader despite arbitrary
+        delays; the BFS tree must be consistent (tie-dependent parents
+        aside)."""
+        graph = grid_graph(3, 4)
+        sync = run_program(graph, LeaderElectionProgram, seed=3)
+        async_result = run_async(
+            graph, LeaderElectionProgram, seed=3, max_delay=12.0
+        )
+        leader = sync.program(0).state.leader_id
+        for node in graph.nodes():
+            state = async_result.program(node).state
+            assert state.leader_id == leader
+            if node != leader:
+                parent_state = async_result.program(state.parent).state
+                assert state.distance == parent_state.distance + 1
+
+    def test_different_delays_same_answer(self):
+        graph = cycle_graph(9)
+        results = [
+            run_async(graph, make_bfs_factory(4), seed=s, max_delay=d)
+            for s, d in ((1, 2.0), (2, 10.0), (3, 40.0))
+        ]
+        expected = bfs_distances(graph, 4)
+        for result in results:
+            got = {v: result.program(v).distance for v in graph.nodes()}
+            assert got == expected
+
+
+class TestMetrics:
+    def test_rounds_match_sync_scale(self):
+        """The synchronizer simulates about as many rounds as the
+        synchronous run needs (BFS: ~diameter)."""
+        graph = path_graph(10)
+        result = run_async(graph, make_bfs_factory(0), seed=0)
+        # Slack: the quiescence check lets fast nodes run a few empty
+        # rounds while the last payloads drain.
+        assert result.metrics.rounds_completed <= diameter(graph) + 6
+
+    def test_control_overhead_bounded(self):
+        """Acks + safes: control messages stay within a constant factor
+        of (rounds * edges)."""
+        graph = grid_graph(3, 3)
+        result = run_async(graph, make_bfs_factory(0), seed=0)
+        edges_directed = 2 * graph.num_edges
+        bound = (result.metrics.rounds_completed + 2) * edges_directed + (
+            2 * result.metrics.payload_messages
+        )
+        assert result.metrics.control_messages <= bound
+
+    def test_virtual_time_advances(self):
+        result = run_async(path_graph(4), make_bfs_factory(0), seed=0)
+        assert result.metrics.virtual_time > 0
+
+
+class TestValidation:
+    def test_bad_delay(self):
+        with pytest.raises(ConfigError):
+            AsyncSimulator(path_graph(3), make_bfs_factory(0), max_delay=0.5)
+
+    def test_disconnected(self):
+        with pytest.raises(ConfigError):
+            AsyncSimulator(Graph(edges=[(0, 1), (2, 3)]), make_bfs_factory(0))
+
+
+class TestIdleProgram:
+    def test_immediate_halt_terminates(self):
+        class Idle(NodeProgram):
+            def on_start(self, ctx):
+                self.halt()
+
+            def on_round(self, ctx, inbox):
+                self.halt()
+
+        result = run_async(path_graph(4), Idle, seed=0)
+        assert result.metrics.payload_messages == 0

@@ -1,0 +1,59 @@
+"""Tests for message envelopes and bit accounting."""
+
+import pytest
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import TAG_BITS, Message, int_bits, payload_bits
+
+
+class TestIntBits:
+    def test_zero(self):
+        assert int_bits(0) == 2
+
+    def test_one(self):
+        assert int_bits(1) == 2
+
+    def test_powers_of_two(self):
+        assert int_bits(255) == 9
+        assert int_bits(256) == 10
+
+    def test_negative_costs_same_as_positive(self):
+        assert int_bits(-7) == int_bits(7)
+
+    def test_monotone(self):
+        costs = [int_bits(v) for v in range(0, 2000, 37)]
+        assert costs == sorted(costs)
+
+
+class TestPayloadBits:
+    def test_empty(self):
+        assert payload_bits(()) == 0
+
+    def test_sum(self):
+        assert payload_bits((1, 255)) == int_bits(1) + int_bits(255)
+
+
+class TestMessage:
+    def test_bits_include_tag(self):
+        message = Message(0, 1, "walk", (5,))
+        assert message.bits == TAG_BITS + int_bits(5)
+
+    def test_empty_payload(self):
+        assert Message(0, 1, "ping").bits == TAG_BITS
+
+    def test_rejects_float_fields(self):
+        with pytest.raises(ProtocolError):
+            Message(0, 1, "bad", (0.5,))
+
+    def test_rejects_bool_fields(self):
+        with pytest.raises(ProtocolError):
+            Message(0, 1, "bad", (True,))
+
+    def test_rejects_string_fields(self):
+        with pytest.raises(ProtocolError):
+            Message(0, 1, "bad", ("x",))
+
+    def test_frozen(self):
+        message = Message(0, 1, "walk", (5,))
+        with pytest.raises(AttributeError):
+            message.kind = "other"

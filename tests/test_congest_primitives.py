@@ -1,0 +1,180 @@
+"""Tests for the CONGEST building blocks (BFS, leader, broadcast, sum)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.node import NodeInfo
+from repro.congest.primitives.bfs import BFSProgram, make_bfs_factory
+from repro.congest.primitives.broadcast import TreeBroadcastProgram
+from repro.congest.primitives.convergecast import ConvergecastSumProgram
+from repro.congest.primitives.leader import LeaderElectionProgram
+from repro.congest.scheduler import run_program
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.properties import bfs_distances, diameter
+
+
+class TestBFS:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(7), cycle_graph(8), grid_graph(3, 4), star_graph(9)],
+        ids=["path", "cycle", "grid", "star"],
+    )
+    def test_distances_match_centralized(self, graph):
+        result = run_program(graph, make_bfs_factory(root=0))
+        expected = bfs_distances(graph, 0)
+        for node in graph.nodes():
+            assert result.program(node).distance == expected[node]
+
+    def test_parents_form_tree(self):
+        graph = grid_graph(4, 4)
+        result = run_program(graph, make_bfs_factory(root=0))
+        for node in graph.nodes():
+            program = result.program(node)
+            if node == 0:
+                assert program.parent is None
+            else:
+                parent_distance = result.program(program.parent).distance
+                assert program.distance == parent_distance + 1
+
+    def test_round_complexity_near_diameter(self):
+        graph = path_graph(20)
+        result = run_program(graph, make_bfs_factory(root=0))
+        # Wave needs D rounds; allow +2 slack for delivery/halting.
+        assert result.metrics.rounds <= diameter(graph) + 2
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            graph = erdos_renyi_graph(25, 0.2, seed=seed, ensure_connected=True)
+            result = run_program(graph, make_bfs_factory(root=3))
+            expected = bfs_distances(graph, 3)
+            got = {v: result.program(v).distance for v in graph.nodes()}
+            assert got == expected
+
+
+def _run_leader_election(graph, seed=0):
+    return run_program(graph, LeaderElectionProgram, seed=seed)
+
+
+class TestLeaderElection:
+    def test_unique_leader(self):
+        graph = grid_graph(3, 5)
+        result = _run_leader_election(graph)
+        leaders = {result.program(v).state.leader_id for v in graph.nodes()}
+        assert len(leaders) == 1
+
+    def test_leader_has_no_parent(self):
+        graph = cycle_graph(9)
+        result = _run_leader_election(graph)
+        leader = result.program(0).state.leader_id
+        assert result.program(leader).state.parent is None
+        assert result.program(leader).state.distance == 0
+
+    def test_tree_is_consistent(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=5, ensure_connected=True)
+        result = _run_leader_election(graph, seed=5)
+        leader = result.program(0).state.leader_id
+        # Parent/children relations are mutual and distances increase by 1.
+        for node in graph.nodes():
+            state = result.program(node).state
+            if node != leader:
+                parent_state = result.program(state.parent).state
+                assert node in parent_state.children
+                assert state.distance == parent_state.distance + 1
+
+    def test_children_edges_count(self):
+        """Tree edges = n - 1 (every non-leader has exactly one parent)."""
+        graph = grid_graph(4, 4)
+        result = _run_leader_election(graph, seed=2)
+        total_children = sum(
+            len(result.program(v).state.children) for v in graph.nodes()
+        )
+        assert total_children == graph.num_nodes - 1
+
+    def test_leader_varies_with_seed(self):
+        graph = cycle_graph(20)
+        leaders = {
+            _run_leader_election(graph, seed=s).program(0).state.leader_id
+            for s in range(10)
+        }
+        assert len(leaders) > 1
+
+    def test_single_node(self):
+        from repro.graphs.graph import Graph
+
+        result = _run_leader_election(Graph(nodes=[0]))
+        state = result.program(0).state
+        assert state.leader_id == 0
+        assert state.parent is None
+
+
+def _election_tree(graph, seed=0):
+    result = _run_leader_election(graph, seed=seed)
+    children = {
+        v: result.program(v).state.children for v in graph.nodes()
+    }
+    parent = {v: result.program(v).state.parent for v in graph.nodes()}
+    leader = result.program(next(iter(graph.nodes()))).state.leader_id
+    return leader, parent, children
+
+
+class TestBroadcast:
+    def test_everyone_receives(self):
+        graph = grid_graph(3, 4)
+        leader, parent, children = _election_tree(graph)
+
+        def factory(info: NodeInfo, rng: np.random.Generator):
+            return TreeBroadcastProgram(
+                info, rng, children, root=leader, value=12345
+            )
+
+        result = run_program(graph, factory)
+        for node in graph.nodes():
+            assert result.program(node).received == 12345
+
+    def test_rounds_bounded_by_tree_height(self):
+        graph = path_graph(15)
+        leader, parent, children = _election_tree(graph)
+
+        def factory(info, rng):
+            return TreeBroadcastProgram(info, rng, children, leader, 7)
+
+        result = run_program(graph, factory)
+        assert result.metrics.rounds <= graph.num_nodes
+
+
+class TestConvergecast:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sum_of_node_ids(self, seed):
+        graph = erdos_renyi_graph(18, 0.25, seed=seed, ensure_connected=True)
+        leader, parent, children = _election_tree(graph, seed=seed)
+
+        def factory(info, rng):
+            return ConvergecastSumProgram(
+                info, rng, children, parent, local_value=info.node_id
+            )
+
+        result = run_program(graph, factory)
+        expected = sum(graph.nodes())
+        assert result.program(leader).total == expected
+        for node in graph.nodes():
+            if node != leader:
+                assert result.program(node).total is None
+
+    def test_tree_message_count(self):
+        """Exactly one aggregation message per tree edge."""
+        graph = random_tree(12, seed=3)
+        leader, parent, children = _election_tree(graph, seed=3)
+
+        def factory(info, rng):
+            return ConvergecastSumProgram(info, rng, children, parent, 1)
+
+        result = run_program(graph, factory)
+        assert result.metrics.total_messages == graph.num_nodes - 1
+        assert result.program(leader).total == graph.num_nodes

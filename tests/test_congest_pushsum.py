@@ -1,0 +1,76 @@
+"""Tests for quantized push-sum gossip."""
+
+import numpy as np
+import pytest
+
+from repro.congest.primitives.pushsum import gossip_average
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    random_regular_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestGossipAverage:
+    def test_uniform_values(self):
+        graph = complete_graph(8)
+        values = {v: 5 for v in graph.nodes()}
+        estimates = gossip_average(graph, values, seed=0)
+        for estimate in estimates.values():
+            assert estimate == pytest.approx(5.0, abs=1e-3)
+
+    def test_converges_to_mean_on_expander(self):
+        graph = random_regular_graph(16, 4, seed=1)
+        values = {v: v * 10 for v in graph.nodes()}
+        true_mean = np.mean(list(values.values()))
+        estimates = gossip_average(graph, values, seed=1)
+        for estimate in estimates.values():
+            assert estimate == pytest.approx(true_mean, rel=0.02)
+
+    def test_more_rounds_tighter(self):
+        graph = cycle_graph(12)  # slow mixing: rounds matter
+        values = {v: (v % 3) * 7 for v in graph.nodes()}
+        true_mean = np.mean(list(values.values()))
+
+        def worst(rounds):
+            estimates = gossip_average(graph, values, rounds=rounds, seed=2)
+            return max(abs(e - true_mean) for e in estimates.values())
+
+        assert worst(400) < worst(20)
+
+    def test_er_graph(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=3, ensure_connected=True)
+        values = {v: int(v) for v in graph.nodes()}
+        estimates = gossip_average(graph, values, seed=3)
+        true_mean = np.mean(list(values.values()))
+        for estimate in estimates.values():
+            assert estimate == pytest.approx(true_mean, rel=0.05)
+
+    def test_negative_values(self):
+        graph = complete_graph(6)
+        values = {v: v - 3 for v in graph.nodes()}
+        estimates = gossip_average(graph, values, seed=4)
+        true_mean = np.mean(list(values.values()))
+        for estimate in estimates.values():
+            assert estimate == pytest.approx(true_mean, abs=0.05)
+
+    def test_reproducible(self):
+        graph = cycle_graph(8)
+        values = {v: v for v in graph.nodes()}
+        a = gossip_average(graph, values, seed=7)
+        b = gossip_average(graph, values, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        graph = complete_graph(4)
+        with pytest.raises(GraphError):
+            gossip_average(graph, {0: 1})  # missing nodes
+        with pytest.raises(GraphError):
+            gossip_average(graph, {v: 0.5 for v in graph.nodes()})  # floats
+        with pytest.raises(GraphError):
+            gossip_average(
+                Graph(edges=[(0, 1), (2, 3)]),
+                {v: 1 for v in range(4)},
+            )

@@ -1,0 +1,98 @@
+"""Tests for the message-log replay/inspection tooling."""
+
+import pytest
+
+from repro.congest.message import Message
+from repro.congest.replay import (
+    ascii_timeline,
+    busiest_edges,
+    detect_phases,
+    kind_totals,
+    summarize_rounds,
+)
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import GraphError
+
+
+def synthetic_log():
+    return [
+        [Message(0, 1, "a"), Message(1, 0, "a")],
+        [Message(0, 1, "a"), Message(0, 1, "b"), Message(0, 1, "b")],
+        [],
+        [Message(2, 1, "c")],
+    ]
+
+
+class TestSummaries:
+    def test_round_summaries(self):
+        summaries = summarize_rounds(synthetic_log())
+        assert len(summaries) == 4
+        assert summaries[0].messages == 2
+        assert summaries[0].dominant_kind == "a"
+        assert summaries[1].by_kind == {"a": 1, "b": 2}
+        assert summaries[1].dominant_kind == "b"
+        assert summaries[2].messages == 0
+        assert summaries[2].dominant_kind is None
+
+    def test_kind_totals(self):
+        assert kind_totals(synthetic_log()) == {"a": 3, "b": 2, "c": 1}
+
+    def test_busiest_edges(self):
+        edges = busiest_edges(synthetic_log(), top=2)
+        assert edges[0] == ((0, 1), 4)
+
+    def test_busiest_validation(self):
+        with pytest.raises(GraphError):
+            busiest_edges([], top=0)
+
+    def test_detect_phases(self):
+        spans = detect_phases(synthetic_log())
+        assert spans[0] == ("a", 1, 1)
+        assert spans[1] == ("b", 2, 2)
+        assert spans[2] == ("(idle)", 3, 3)
+
+    def test_timeline_renders(self):
+        text = ascii_timeline(synthetic_log(), width=10)
+        assert "rounds 1..4" in text
+        assert "[" in text
+
+    def test_timeline_empty(self):
+        assert ascii_timeline([]) == "(empty log)"
+
+    def test_timeline_validation(self):
+        with pytest.raises(GraphError):
+            ascii_timeline(synthetic_log(), width=2)
+
+
+class TestOnRealRun:
+    @pytest.fixture(scope="class")
+    def log(self):
+        graph = erdos_renyi_graph(10, 0.35, seed=30, ensure_connected=True)
+        result = estimate_rwbc_distributed(
+            graph,
+            WalkParameters(length=30, walks_per_source=6),
+            seed=30,
+            record_messages=True,
+        )
+        return result.message_log
+
+    def test_phase_structure_recovered(self, log):
+        """Traffic-dominant kinds recover the protocol's phase order:
+        flood setup, then walks, then the count exchange."""
+        spans = detect_phases(log)
+        kinds_in_order = [kind for kind, _, _ in spans]
+        assert kinds_in_order[0] == "flood"
+        walk_position = kinds_in_order.index("walk")
+        exchange_position = kinds_in_order.index("xch")
+        assert walk_position < exchange_position
+
+    def test_totals_consistent(self, log):
+        totals = kind_totals(log)
+        assert sum(totals.values()) == sum(len(r) for r in log)
+        assert totals["xch"] > 0
+
+    def test_timeline_on_real_log(self, log):
+        text = ascii_timeline(log)
+        assert f"rounds 1..{len(log)}" in text

@@ -1,0 +1,110 @@
+"""Tests for the post-hoc message-log auditor and tracer wiring."""
+
+import pytest
+
+from repro.congest.message import Message
+from repro.congest.scheduler import Simulator, run_program
+from repro.congest.trace import Tracer
+from repro.congest.transport import BandwidthPolicy
+from repro.congest.validation import audit_message_log
+from repro.core.protocol import ProtocolConfig, make_protocol_factory
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+class TestAuditor:
+    def test_protocol_run_is_compliant(self):
+        graph = cycle_graph(8)
+        config = ProtocolConfig(length=30, walks_per_source=6)
+        policy = BandwidthPolicy(n=8, messages_per_edge=4)
+        result = Simulator(
+            graph,
+            make_protocol_factory(config),
+            policy=policy,
+            seed=0,
+            record_messages=True,
+        ).run()
+        report = audit_message_log(result.message_log, graph, policy)
+        assert report.compliant
+        assert report.messages == result.metrics.total_messages
+        assert report.rounds == result.metrics.rounds
+
+    def test_detects_non_edge(self):
+        graph = path_graph(3)
+        log = [[Message(0, 2, "bad")]]  # 0-2 is not an edge of P3
+        report = audit_message_log(log, graph, BandwidthPolicy(n=3))
+        assert not report.compliant
+        assert "non-edge" in report.violations[0]
+
+    def test_detects_oversized_message(self):
+        graph = path_graph(3)
+        log = [[Message(0, 1, "wide", (2**200,))]]
+        report = audit_message_log(log, graph, BandwidthPolicy(n=3))
+        assert any("exceeds budget" in v for v in report.violations)
+
+    def test_detects_edge_overload(self):
+        graph = path_graph(3)
+        policy = BandwidthPolicy(n=3, messages_per_edge=2)
+        log = [[Message(0, 1, "x") for _ in range(5)]]
+        report = audit_message_log(log, graph, policy)
+        assert any("5 messages on edge" in v for v in report.violations)
+
+    def test_violation_cap(self):
+        graph = path_graph(3)
+        log = [[Message(0, 2, "bad") for _ in range(100)]]
+        report = audit_message_log(
+            log, graph, BandwidthPolicy(n=3), max_violations=5
+        )
+        assert len(report.violations) == 5
+
+    def test_empty_log(self):
+        report = audit_message_log([], path_graph(3), BandwidthPolicy(n=3))
+        assert report.compliant
+        assert report.messages == 0
+
+
+class TestTracerWiring:
+    def test_deliveries_recorded(self):
+        from repro.congest.node import NodeProgram
+
+        class Ping(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast("ping")
+
+            def on_round(self, ctx, inbox):
+                self.halt()
+
+        graph = path_graph(3)
+        tracer = Tracer()
+        run_program(graph, Ping, tracer=tracer)
+        deliveries = tracer.of_kind("deliver")
+        assert len(deliveries) == 4  # P3 has 2 edges x 2 directions
+        rounds = {event.round_number for event in deliveries}
+        assert rounds == {1}
+
+    def test_kind_filter(self):
+        from repro.congest.node import NodeProgram
+
+        class Ping(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast("ping")
+
+            def on_round(self, ctx, inbox):
+                self.halt()
+
+        tracer = Tracer(kinds=frozenset({"nothing"}))
+        run_program(path_graph(3), Ping, tracer=tracer)
+        assert len(tracer) == 0
+
+    def test_bounded(self):
+        tracer = Tracer(max_events=2)
+        tracer.record(1, 0, "a")
+        tracer.record(1, 0, "b")
+        tracer.record(1, 0, "c")
+        assert len(tracer) == 2
+        assert tracer.dropped == 1
+
+    def test_for_node(self):
+        tracer = Tracer()
+        tracer.record(1, 5, "x")
+        tracer.record(2, 6, "x")
+        assert len(tracer.for_node(5)) == 1

@@ -1,0 +1,66 @@
+"""Tests for the adaptive (walk-doubling) estimator."""
+
+import pytest
+
+from repro.analysis.error import mean_relative_error
+from repro.core.adaptive import adaptive_montecarlo
+from repro.core.exact import rwbc_exact
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestAdaptive:
+    def test_converges_and_is_accurate(self):
+        graph = erdos_renyi_graph(14, 0.35, seed=4, ensure_connected=True)
+        exact = rwbc_exact(graph, target=0)
+        result = adaptive_montecarlo(
+            graph, target=0, tolerance=0.03, seed=1, max_walks=8192
+        )
+        assert result.converged
+        assert mean_relative_error(result.betweenness, exact) < 0.25
+
+    def test_tighter_tolerance_needs_more_walks(self):
+        graph = cycle_graph(10)
+        loose = adaptive_montecarlo(
+            graph, target=0, tolerance=0.25, seed=2, max_walks=16384
+        )
+        tight = adaptive_montecarlo(
+            graph, target=0, tolerance=0.02, seed=2, max_walks=16384
+        )
+        assert tight.walks_per_source > loose.walks_per_source
+
+    def test_budget_exhaustion_reported(self):
+        graph = cycle_graph(10)
+        result = adaptive_montecarlo(
+            graph, target=0, tolerance=0.0001, seed=3,
+            initial_walks=4, max_walks=16,
+        )
+        assert not result.converged
+        assert result.walks_per_source == 16
+
+    def test_history_recorded(self):
+        graph = cycle_graph(8)
+        result = adaptive_montecarlo(
+            graph, target=0, tolerance=0.05, seed=4, max_walks=4096
+        )
+        assert result.iterations >= 2
+        assert len(result.history) == result.iterations - 1
+        assert result.history[-1] < 0.05
+
+    def test_reproducible(self):
+        graph = cycle_graph(8)
+        a = adaptive_montecarlo(graph, tolerance=0.1, seed=5)
+        b = adaptive_montecarlo(graph, tolerance=0.1, seed=5)
+        assert a.betweenness == b.betweenness
+        assert a.walks_per_source == b.walks_per_source
+
+    def test_validation(self):
+        graph = cycle_graph(6)
+        with pytest.raises(GraphError):
+            adaptive_montecarlo(Graph(nodes=[0]))
+        with pytest.raises(GraphError):
+            adaptive_montecarlo(graph, tolerance=0.0)
+        with pytest.raises(GraphError):
+            adaptive_montecarlo(graph, initial_walks=0)
+        with pytest.raises(GraphError):
+            adaptive_montecarlo(graph, initial_walks=10, max_walks=5)

@@ -1,0 +1,179 @@
+"""Tests for the exact RWBC solvers, including the oracle agreement chain:
+pairs implementation == fast implementation == networkx (E10)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import rwbc_exact, rwbc_exact_array, rwbc_exact_pairs
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    fig1_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    random_tree,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestHandValues:
+    def test_path3(self):
+        values = rwbc_exact(path_graph(3))
+        assert values[1] == pytest.approx(1.0)
+        assert values[0] == pytest.approx(2.0 / 3.0)
+        assert values[2] == pytest.approx(2.0 / 3.0)
+
+    def test_path2(self):
+        values = rwbc_exact(path_graph(2))
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(1.0)
+
+    def test_star_hub(self):
+        """Hub carries every non-adjacent pair fully; leaves only their own
+        pairs."""
+        n = 6
+        values = rwbc_exact(star_graph(n))
+        assert values[0] == pytest.approx(1.0)
+        for leaf in range(1, n):
+            assert values[leaf] == pytest.approx(2.0 / n)
+
+    def test_complete_graph_uniform(self):
+        values = rwbc_exact(complete_graph(6))
+        unique = set(round(v, 12) for v in values.values())
+        assert len(unique) == 1
+
+    def test_cycle_uniform(self):
+        values = rwbc_exact(cycle_graph(7))
+        unique = set(round(v, 12) for v in values.values())
+        assert len(unique) == 1
+
+    def test_bounds(self):
+        """Newman values lie in [2/n, 1]."""
+        for seed in range(3):
+            graph = erdos_renyi_graph(12, 0.3, seed=seed, ensure_connected=True)
+            values = rwbc_exact(graph)
+            n = graph.num_nodes
+            for v in values.values():
+                assert 2.0 / n - 1e-12 <= v <= 1.0 + 1e-12
+
+    def test_barbell_bridge_is_max(self):
+        graph = barbell_graph(5, 3)
+        values = rwbc_exact(graph)
+        bridge_nodes = [5, 6, 7]  # the path between cliques
+        clique_interior = [0, 1, 2, 3]
+        assert min(values[b] for b in bridge_nodes) > max(
+            values[c] for c in clique_interior
+        )
+
+
+class TestTargetInvariance:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_any_target_same_answer(self, seed):
+        graph = erdos_renyi_graph(11, 0.35, seed=seed, ensure_connected=True)
+        reference = rwbc_exact(graph, target=0)
+        for target in (3, 7, 10):
+            values = rwbc_exact(graph, target=target)
+            for node in graph.nodes():
+                assert values[node] == pytest.approx(
+                    reference[node], abs=1e-10
+                )
+
+    def test_missing_target(self):
+        with pytest.raises(GraphError):
+            rwbc_exact(path_graph(3), target=99)
+
+
+class TestAgreementChain:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(5),
+            cycle_graph(6),
+            star_graph(6),
+            grid_graph(3, 3),
+            fig1_graph(3),
+            random_tree(8, seed=0),
+            erdos_renyi_graph(9, 0.4, seed=5, ensure_connected=True),
+        ],
+        ids=["path", "cycle", "star", "grid", "fig1", "tree", "er"],
+    )
+    def test_pairs_equals_fast(self, graph):
+        fast = rwbc_exact(graph)
+        pairs = rwbc_exact_pairs(graph)
+        for node in graph.nodes():
+            assert fast[node] == pytest.approx(pairs[node], abs=1e-10)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(6),
+            grid_graph(3, 4),
+            barbell_graph(4, 2),
+            erdos_renyi_graph(12, 0.35, seed=9, ensure_connected=True),
+        ],
+        ids=["path", "grid", "barbell", "er"],
+    )
+    def test_networkx_oracle(self, graph):
+        """Our no-endpoints convention == networkx CFBC exactly."""
+        mine = rwbc_exact(graph, include_endpoints=False, normalized=True)
+        oracle = nx.current_flow_betweenness_centrality(
+            to_networkx(graph), normalized=True
+        )
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(oracle[node], abs=1e-9)
+
+    def test_newman_from_networkx_affine_relation(self):
+        """b_newman = (nx * (n-2) + 2) / n - the documented conversion."""
+        graph = erdos_renyi_graph(10, 0.45, seed=2, ensure_connected=True)
+        n = graph.num_nodes
+        newman = rwbc_exact(graph)
+        oracle = nx.current_flow_betweenness_centrality(
+            to_networkx(graph), normalized=True
+        )
+        for node in graph.nodes():
+            converted = (oracle[node] * (n - 2) + 2.0) / n
+            assert newman[node] == pytest.approx(converted, abs=1e-9)
+
+
+class TestArrayForm:
+    def test_matches_dict(self):
+        graph = cycle_graph(5)
+        values = rwbc_exact(graph)
+        array = rwbc_exact_array(graph)
+        for i, node in enumerate(graph.canonical_order()):
+            assert array[i] == values[node]
+
+
+class TestValidation:
+    def test_disconnected(self):
+        with pytest.raises(GraphError):
+            rwbc_exact(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_single_node(self):
+        with pytest.raises(GraphError):
+            rwbc_exact(Graph(nodes=[0]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_permutation_equivariance(seed):
+    """Relabeling nodes permutes betweenness values accordingly."""
+    graph = erdos_renyi_graph(8, 0.45, seed=seed, ensure_connected=True)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(8)
+    relabeled = Graph(nodes=range(8))
+    for u, v in graph.edges():
+        relabeled.add_edge(int(perm[u]), int(perm[v]))
+    original = rwbc_exact(graph)
+    permuted = rwbc_exact(relabeled)
+    for node in graph.nodes():
+        assert permuted[int(perm[node])] == pytest.approx(
+            original[node], abs=1e-9
+        )

@@ -1,0 +1,126 @@
+"""Tests for the shared Eq. 5-8 arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.flow_math import (
+    betweenness_from_raw_flow,
+    node_raw_flow,
+    pair_sum_all,
+    pair_sum_excluding,
+)
+from repro.graphs.graph import GraphError
+
+
+def brute_pair_sum(w):
+    n = len(w)
+    return sum(
+        abs(w[s] - w[t]) for s in range(n) for t in range(s + 1, n)
+    )
+
+
+class TestPairSum:
+    def test_empty_and_singleton(self):
+        assert pair_sum_all(np.array([])) == 0.0
+        assert pair_sum_all(np.array([3.0])) == 0.0
+
+    def test_two_elements(self):
+        assert pair_sum_all(np.array([1.0, 4.0])) == pytest.approx(3.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            w = rng.normal(size=rng.integers(2, 30))
+            assert pair_sum_all(w) == pytest.approx(brute_pair_sum(w))
+
+    def test_excluding_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            n = int(rng.integers(3, 20))
+            w = rng.normal(size=n)
+            e = int(rng.integers(n))
+            brute = sum(
+                abs(w[s] - w[t])
+                for s in range(n)
+                for t in range(s + 1, n)
+                if s != e and t != e
+            )
+            assert pair_sum_excluding(w, e) == pytest.approx(brute)
+
+    def test_translation_invariant(self):
+        w = np.array([1.0, -2.0, 5.0, 0.5])
+        assert pair_sum_all(w) == pytest.approx(pair_sum_all(w + 100.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    w=hnp.arrays(
+        np.float64,
+        st.integers(2, 25),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_pair_sum_property(w):
+    assert pair_sum_all(w) == pytest.approx(brute_pair_sum(w), rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    w=hnp.arrays(
+        np.float64, st.integers(3, 15), elements=st.floats(-100, 100)
+    ),
+    scale=st.floats(0.1, 10),
+)
+def test_pair_sum_scales_linearly(w, scale):
+    assert pair_sum_all(scale * w) == pytest.approx(
+        scale * pair_sum_all(w), rel=1e-9, abs=1e-9
+    )
+
+
+class TestNodeRawFlow:
+    def test_no_neighbors(self):
+        assert node_raw_flow(np.zeros(5), [], 0) == 0.0
+
+    def test_single_neighbor(self):
+        own = np.array([1.0, 0.0, 0.0])
+        other = np.array([0.0, 0.0, 0.0])
+        # w = [1,0,0], pairs excluding index 0: only (1,2) -> 0.
+        assert node_raw_flow(own, [other], 0) == pytest.approx(0.0)
+        # Excluding index 2: pairs (0,1) -> 1. Halved -> 0.5.
+        assert node_raw_flow(own, [other], 2) == pytest.approx(0.5)
+
+
+class TestBetweennessFromRawFlow:
+    def test_endpoint_only_node(self):
+        """Zero interior flow gives the endpoint floor 2/n (Newman)."""
+        n = 10
+        value = betweenness_from_raw_flow(0.0, n)
+        assert value == pytest.approx(2.0 / n)
+
+    def test_scale_cancels(self):
+        a = betweenness_from_raw_flow(6.0, 5, scale=1.0)
+        b = betweenness_from_raw_flow(12.0, 5, scale=2.0)
+        assert a == pytest.approx(b)
+
+    def test_networkx_convention(self):
+        value = betweenness_from_raw_flow(
+            3.0, 4, include_endpoints=False, normalized=True
+        )
+        assert value == pytest.approx(3.0 / 3.0)
+
+    def test_unnormalized(self):
+        value = betweenness_from_raw_flow(3.0, 4, scale=2.0, normalized=False)
+        assert value == pytest.approx((3.0 + 3 * 2.0) / 2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError):
+            betweenness_from_raw_flow(1.0, 1)
+        with pytest.raises(GraphError):
+            betweenness_from_raw_flow(1.0, 5, scale=0.0)
+        with pytest.raises(GraphError):
+            betweenness_from_raw_flow(
+                1.0, 2, include_endpoints=False, normalized=True
+            )

@@ -1,0 +1,124 @@
+"""Tests for the Sherman-Morrison incremental exact solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import rwbc_exact
+from repro.core.incremental import IncrementalRWBC
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.absorbing import grounded_inverse
+from repro.walks.resistance import effective_resistance
+
+
+def assert_matches_fresh(tracker: IncrementalRWBC):
+    graph = tracker.graph
+    fresh_t = grounded_inverse(graph, graph.canonical_order()[0])
+    np.testing.assert_allclose(tracker.potentials(), fresh_t, atol=1e-8)
+    fresh_b = rwbc_exact(graph)
+    incremental_b = tracker.betweenness()
+    for node in graph.nodes():
+        assert incremental_b[node] == pytest.approx(fresh_b[node], abs=1e-8)
+
+
+class TestUpdates:
+    def test_initial_state_matches_exact(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=0, ensure_connected=True)
+        assert_matches_fresh(IncrementalRWBC(graph))
+
+    def test_single_insertion(self):
+        graph = cycle_graph(8)
+        tracker = IncrementalRWBC(graph)
+        tracker.add_edge(0, 4)
+        assert_matches_fresh(tracker)
+
+    def test_single_removal(self):
+        graph = erdos_renyi_graph(10, 0.5, seed=1, ensure_connected=True)
+        tracker = IncrementalRWBC(graph)
+        # Remove a non-bridge edge (dense graph: cycle edges abound).
+        edge = next(iter(graph.edges()))
+        tracker.remove_edge(*edge)
+        assert_matches_fresh(tracker)
+
+    def test_insert_then_remove_is_identity(self):
+        graph = cycle_graph(7)
+        before = IncrementalRWBC(graph).betweenness()
+        tracker = IncrementalRWBC(graph)
+        tracker.add_edge(0, 3)
+        tracker.remove_edge(0, 3)
+        after = tracker.betweenness()
+        for node in graph.nodes():
+            assert after[node] == pytest.approx(before[node], abs=1e-8)
+
+    def test_update_sequence(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=2, ensure_connected=True)
+        tracker = IncrementalRWBC(graph)
+        tracker.add_edge(0, 11) if not graph.has_edge(0, 11) else None
+        tracker.add_edge(1, 10) if not graph.has_edge(1, 10) else None
+        removable = next(iter(tracker.graph.edges()))
+        try:
+            tracker.remove_edge(*removable)
+        except GraphError:
+            pass  # happened to pick a bridge; fine
+        assert_matches_fresh(tracker)
+
+    def test_bridge_removal_rejected(self):
+        graph = path_graph(5)
+        tracker = IncrementalRWBC(graph)
+        with pytest.raises(GraphError, match="bridge"):
+            tracker.remove_edge(2, 3)
+
+    def test_missing_edge_removal(self):
+        tracker = IncrementalRWBC(cycle_graph(5))
+        with pytest.raises(GraphError):
+            tracker.remove_edge(0, 2)
+
+    def test_duplicate_insertion(self):
+        tracker = IncrementalRWBC(cycle_graph(5))
+        with pytest.raises(GraphError):
+            tracker.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        tracker = IncrementalRWBC(cycle_graph(5))
+        with pytest.raises(GraphError):
+            tracker.add_edge(2, 2)
+
+
+class TestEffectiveResistance:
+    def test_matches_resistance_module(self):
+        graph = erdos_renyi_graph(9, 0.5, seed=3, ensure_connected=True)
+        tracker = IncrementalRWBC(graph)
+        for u, v in list(graph.edges())[:4]:
+            assert tracker.effective_resistance(u, v) == pytest.approx(
+                effective_resistance(graph, u, v), abs=1e-9
+            )
+
+    def test_bridge_has_unit_resistance(self):
+        tracker = IncrementalRWBC(path_graph(4))
+        assert tracker.effective_resistance(1, 2) == pytest.approx(1.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_random_update_walks(seed):
+    """Random insert/remove sequences stay consistent with recomputation."""
+    rng = np.random.default_rng(seed)
+    graph = erdos_renyi_graph(8, 0.5, seed=seed, ensure_connected=True)
+    tracker = IncrementalRWBC(graph)
+    for _ in range(5):
+        u, v = rng.choice(8, size=2, replace=False)
+        u, v = int(u), int(v)
+        if tracker.graph.has_edge(u, v):
+            try:
+                tracker.remove_edge(u, v)
+            except GraphError:
+                continue  # bridge
+        else:
+            tracker.add_edge(u, v)
+    assert_matches_fresh(tracker)

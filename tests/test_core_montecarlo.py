@@ -1,0 +1,148 @@
+"""Tests for the centralized Monte-Carlo estimator (Theorems 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import rwbc_exact
+from repro.core.montecarlo import (
+    betweenness_from_counts,
+    estimate_rwbc_montecarlo,
+)
+from repro.core.parameters import WalkParameters
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    fig1_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import GraphError
+from repro.walks.absorbing import visit_counts_truncated
+
+
+class TestBetweennessFromCounts:
+    def test_exact_counts_give_exact_values(self):
+        """Feeding the *expected* (truncated, long-l) counts reproduces the
+        exact betweenness - the counts->b arithmetic is exact."""
+        graph = grid_graph(3, 3)
+        target = 4
+        expectation = visit_counts_truncated(graph, target, length=4000)
+        values = betweenness_from_counts(graph, expectation, walks_per_source=1)
+        exact = rwbc_exact(graph, target=target)
+        for node in graph.nodes():
+            assert values[node] == pytest.approx(exact[node], abs=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            betweenness_from_counts(path_graph(3), np.zeros((2, 2)), 1)
+
+    def test_k_validation(self):
+        with pytest.raises(GraphError):
+            betweenness_from_counts(path_graph(3), np.zeros((3, 3)), 0)
+
+
+class TestEstimator:
+    def test_converges_to_exact(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=1, ensure_connected=True)
+        exact = rwbc_exact(graph)
+        result = estimate_rwbc_montecarlo(
+            graph,
+            WalkParameters(length=300, walks_per_source=2000),
+            target=0,
+            seed=2,
+        )
+        for node in graph.nodes():
+            relative = abs(result.betweenness[node] - exact[node]) / exact[node]
+            assert relative < 0.05
+
+    def test_error_shrinks_with_k(self):
+        """Theorem 3 direction: more walks, less error (averaged)."""
+        graph = cycle_graph(10)
+        exact = rwbc_exact(graph)
+
+        def mean_error(k, seed):
+            result = estimate_rwbc_montecarlo(
+                graph,
+                WalkParameters(length=200, walks_per_source=k),
+                target=0,
+                seed=seed,
+            )
+            return np.mean(
+                [
+                    abs(result.betweenness[v] - exact[v]) / exact[v]
+                    for v in graph.nodes()
+                ]
+            )
+
+        coarse = np.mean([mean_error(10, s) for s in range(5)])
+        fine = np.mean([mean_error(640, s) for s in range(5)])
+        assert fine < coarse / 3.0
+
+    def test_truncation_bias(self):
+        """Theorem 2 direction: too-short walks underestimate systematically
+        on slow-mixing graphs."""
+        graph = cycle_graph(16)
+        exact = rwbc_exact(graph)
+        short = estimate_rwbc_montecarlo(
+            graph, WalkParameters(length=4, walks_per_source=400), target=0, seed=3
+        )
+        longer = estimate_rwbc_montecarlo(
+            graph, WalkParameters(length=800, walks_per_source=400), target=0, seed=3
+        )
+        short_err = np.mean(
+            [abs(short.betweenness[v] - exact[v]) for v in graph.nodes()]
+        )
+        long_err = np.mean(
+            [abs(longer.betweenness[v] - exact[v]) for v in graph.nodes()]
+        )
+        assert long_err < short_err
+        assert short.survival_fraction > 0.5
+        assert longer.survival_fraction == 0.0
+
+    def test_default_parameters_applied(self):
+        graph = cycle_graph(8)
+        result = estimate_rwbc_montecarlo(graph, seed=0)
+        assert result.parameters.length >= 8
+        assert result.parameters.walks_per_source >= 4
+
+    def test_random_target_reproducible(self):
+        graph = cycle_graph(9)
+        a = estimate_rwbc_montecarlo(graph, seed=5)
+        b = estimate_rwbc_montecarlo(graph, seed=5)
+        assert a.target == b.target
+        assert a.betweenness == b.betweenness
+
+    def test_explicit_target_respected(self):
+        graph = cycle_graph(9)
+        result = estimate_rwbc_montecarlo(graph, target=4, seed=0)
+        assert result.target == 4
+
+    def test_fig1_c_above_floor(self):
+        """The paper's motivating claim, estimated: node C's RWBC clearly
+        exceeds the endpoint floor 2/n even with modest sampling."""
+        from repro.graphs.generators import fig1_node_roles
+
+        graph = fig1_graph(group_size=4)
+        roles = fig1_node_roles(group_size=4)
+        result = estimate_rwbc_montecarlo(
+            graph,
+            WalkParameters(length=300, walks_per_source=500),
+            target=0,
+            seed=7,
+        )
+        n = graph.num_nodes
+        assert result.betweenness[roles["C"]] > 1.3 * (2.0 / n)
+
+    def test_too_small_graph(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(GraphError):
+            estimate_rwbc_montecarlo(Graph(nodes=[0]))
+
+    def test_as_array(self):
+        graph = star_graph(5)
+        result = estimate_rwbc_montecarlo(graph, seed=1)
+        array = result.as_array(graph)
+        assert array.shape == (5,)
+        assert array[0] == result.betweenness[0]

@@ -1,0 +1,86 @@
+"""Tests for the (l, K) parameter schedules and Chernoff arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    WalkParameters,
+    chernoff_failure_bound,
+    default_length,
+    default_parameters,
+    default_walks,
+    walks_for_concentration,
+)
+from repro.graphs.graph import GraphError
+
+
+class TestSchedules:
+    def test_length_linear(self):
+        assert default_length(100) == 300
+        assert default_length(100, factor=5.0) == 500
+
+    def test_length_monotone(self):
+        lengths = [default_length(n) for n in (4, 16, 64, 256)]
+        assert lengths == sorted(lengths)
+
+    def test_walks_logarithmic(self):
+        assert default_walks(2 ** 10) == 40
+        # Doubling n adds a constant, not a factor.
+        assert default_walks(2 ** 20) == 80
+
+    def test_defaults_bundle(self):
+        params = default_parameters(64)
+        assert params.length == 192
+        assert params.walks_per_source == 24
+        assert params.total_walks_factor == 192 * 24
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            default_length(1)
+        with pytest.raises(GraphError):
+            default_walks(10, factor=0)
+        with pytest.raises(GraphError):
+            WalkParameters(length=0, walks_per_source=1)
+        with pytest.raises(GraphError):
+            WalkParameters(length=1, walks_per_source=0)
+
+
+class TestChernoff:
+    def test_walks_for_concentration_formula(self):
+        n, delta = 100, 0.5
+        k = walks_for_concentration(n, delta)
+        expected = math.ceil(3 * math.log(n) / delta**2)
+        assert k == expected
+
+    def test_tighter_delta_needs_more_walks(self):
+        assert walks_for_concentration(50, 0.1) > walks_for_concentration(
+            50, 0.5
+        )
+
+    def test_higher_confidence_needs_more_walks(self):
+        assert walks_for_concentration(
+            50, 0.3, failure_exponent=3.0
+        ) > walks_for_concentration(50, 0.3, failure_exponent=1.0)
+
+    def test_failure_bound_decreases_in_k(self):
+        bounds = [chernoff_failure_bound(k, 0.3) for k in (10, 100, 1000)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_k_from_bound_closes_loop(self):
+        """K chosen for (delta, n^-1) indeed drives the bound below 2/n."""
+        n, delta = 200, 0.4
+        k = walks_for_concentration(n, delta)
+        assert chernoff_failure_bound(k, delta) <= 2.0 / n + 1e-12
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            walks_for_concentration(1, 0.5)
+        with pytest.raises(GraphError):
+            walks_for_concentration(10, 1.5)
+        with pytest.raises(GraphError):
+            walks_for_concentration(10, 0.5, expectation_constant=0)
+        with pytest.raises(GraphError):
+            chernoff_failure_bound(0, 0.5)
+        with pytest.raises(GraphError):
+            chernoff_failure_bound(5, 0.0)

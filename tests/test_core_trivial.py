@@ -1,0 +1,84 @@
+"""Tests for the trivial collect-all algorithm (the paper's O(m) baseline)."""
+
+import pytest
+
+from repro.core.exact import rwbc_exact
+from repro.core.trivial import SCALE, trivial_collect_all
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(6),
+            cycle_graph(8),
+            star_graph(7),
+            grid_graph(3, 3),
+            erdos_renyi_graph(15, 0.3, seed=1, ensure_connected=True),
+        ],
+        ids=["path", "cycle", "star", "grid", "er"],
+    )
+    def test_exact_to_fixed_point(self, graph):
+        result = trivial_collect_all(graph, seed=0)
+        exact = rwbc_exact(graph)
+        for node in graph.nodes():
+            assert result.betweenness[node] == pytest.approx(
+                exact[node], abs=2.0 / SCALE
+            )
+
+    def test_every_node_learns_its_value(self):
+        graph = erdos_renyi_graph(12, 0.35, seed=2, ensure_connected=True)
+        result = trivial_collect_all(graph, seed=2)
+        assert all(
+            value is not None for value in result.betweenness.values()
+        )
+
+    def test_arbitrary_labels(self):
+        graph = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        result = trivial_collect_all(graph, seed=0)
+        assert set(result.betweenness) == {"a", "b", "c"}
+
+    def test_no_endpoints_convention(self):
+        graph = path_graph(4)
+        result = trivial_collect_all(graph, seed=0, include_endpoints=False)
+        exact = rwbc_exact(graph, include_endpoints=False)
+        for node in graph.nodes():
+            assert result.betweenness[node] == pytest.approx(
+                exact[node], abs=2.0 / SCALE
+            )
+
+
+class TestComplexity:
+    def test_rounds_scale_with_edges(self):
+        """The whole point of the paper's O(n log n) algorithm: the
+        trivial baseline pays Theta(m) rounds, so denser graphs cost
+        proportionally more at fixed n."""
+        n = 20
+        sparse = erdos_renyi_graph(n, 0.15, seed=3, ensure_connected=True)
+        dense = erdos_renyi_graph(n, 0.7, seed=3, ensure_connected=True)
+        sparse_run = trivial_collect_all(sparse, seed=3)
+        dense_run = trivial_collect_all(dense, seed=3)
+        assert dense_run.rounds > sparse_run.rounds
+        # Rounds lower-bounded by the root's bottleneck: edges must
+        # serialize through the leader's tree links.
+        assert dense_run.rounds >= dense.num_edges / max(
+            1, max(dense.degree(v) for v in dense.nodes())
+        )
+
+    def test_rounds_at_least_m_over_root_degree_plus_n(self):
+        graph = cycle_graph(12)
+        result = trivial_collect_all(graph, seed=0)
+        # Values phase alone pipelines n messages down the tree.
+        assert result.rounds >= graph.num_nodes
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            trivial_collect_all(Graph(nodes=[0]))

@@ -1,0 +1,123 @@
+"""Tests for weighted current-flow betweenness (matrix layer)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.exact import rwbc_exact
+from repro.core.edge_betweenness import edge_current_flow_betweenness
+from repro.core.weighted import (
+    weighted_edge_betweenness,
+    weighted_rwbc_exact,
+)
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+def unit_weights(graph):
+    return {edge: 1.0 for edge in graph.edges()}
+
+
+def random_weights(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return {edge: float(rng.uniform(0.5, 3.0)) for edge in graph.edges()}
+
+
+class TestWeightedNodeBetweenness:
+    def test_unit_weights_reduce_to_unweighted(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=0, ensure_connected=True)
+        weighted = weighted_rwbc_exact(graph, unit_weights(graph))
+        plain = rwbc_exact(graph)
+        for node in graph.nodes():
+            assert weighted[node] == pytest.approx(plain[node], abs=1e-10)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx_weighted(self, seed):
+        graph = erdos_renyi_graph(9, 0.45, seed=seed, ensure_connected=True)
+        weights = random_weights(graph, seed)
+        nx_graph = to_networkx(graph)
+        for (u, v), weight in weights.items():
+            nx_graph[u][v]["weight"] = weight
+        oracle = nx.current_flow_betweenness_centrality(
+            nx_graph, normalized=True, weight="weight"
+        )
+        mine = weighted_rwbc_exact(
+            graph, weights, include_endpoints=False
+        )
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(oracle[node], abs=1e-8)
+
+    def test_target_invariance(self):
+        graph = cycle_graph(7)
+        weights = random_weights(graph, 3)
+        a = weighted_rwbc_exact(graph, weights, target=0)
+        b = weighted_rwbc_exact(graph, weights, target=4)
+        for node in graph.nodes():
+            assert a[node] == pytest.approx(b[node], abs=1e-10)
+
+    def test_heavy_detour_attracts_flow(self):
+        """On a cycle, up-weighting one arc pulls current (and hence
+        betweenness) toward it."""
+        graph = cycle_graph(6)
+        weights = unit_weights(graph)
+        boosted = dict(weights)
+        # Boost the 0-1-2-3 arc strongly.
+        for edge in boosted:
+            if set(edge) <= {0, 1, 2, 3}:
+                boosted[edge] = 10.0
+        plain = weighted_rwbc_exact(graph, weights)
+        skew = weighted_rwbc_exact(graph, boosted)
+        assert skew[1] > plain[1]
+        assert skew[2] > plain[2]
+
+
+class TestWeightedEdgeBetweenness:
+    def test_unit_weights_reduce_to_unweighted(self):
+        graph = path_graph(5)
+        weighted = weighted_edge_betweenness(graph, unit_weights(graph))
+        plain = edge_current_flow_betweenness(graph)
+        for edge in plain:
+            assert weighted[edge] == pytest.approx(plain[edge], abs=1e-10)
+
+    def test_heavy_edge_carries_more(self):
+        graph = cycle_graph(4)
+        weights = unit_weights(graph)
+        weights[(0, 1)] = 5.0
+        values = weighted_edge_betweenness(graph, weights)
+        assert values[(0, 1)] == max(values.values())
+
+
+class TestValidation:
+    def test_missing_weight(self):
+        graph = path_graph(3)
+        with pytest.raises(GraphError, match="cover"):
+            weighted_rwbc_exact(graph, {(0, 1): 1.0})
+
+    def test_non_edge_weight(self):
+        graph = path_graph(3)
+        with pytest.raises(GraphError, match="non-edge"):
+            weighted_rwbc_exact(
+                graph, {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0}
+            )
+
+    def test_non_positive_weight(self):
+        graph = path_graph(3)
+        with pytest.raises(GraphError, match="non-positive"):
+            weighted_rwbc_exact(graph, {(0, 1): 0.0, (1, 2): 1.0})
+
+    def test_double_weighting(self):
+        graph = path_graph(3)
+        with pytest.raises(GraphError, match="twice"):
+            weighted_rwbc_exact(
+                graph, {(0, 1): 1.0, (1, 0): 1.0, (1, 2): 1.0}
+            )
+
+    def test_disconnected(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            weighted_rwbc_exact(graph, unit_weights(graph))

@@ -1,0 +1,81 @@
+"""Meta-tests: the documentation's promises are structurally true.
+
+DESIGN.md maps every experiment to a benchmark file and every subsystem
+to a module; these tests keep that map from rotting.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestDesignDocument:
+    def test_every_listed_bench_exists(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        bench_files = set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design))
+        assert bench_files, "DESIGN.md should reference benchmark files"
+        for name in bench_files:
+            assert (REPO / "benchmarks" / name).exists(), name
+
+    def test_every_bench_file_listed(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        on_disk = {
+            path.name for path in (REPO / "benchmarks").glob("test_bench_*.py")
+        }
+        listed = set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design))
+        missing = on_disk - listed - {
+            # Performance-only benches need no experiment-table row, but
+            # keep the exclusion list explicit so additions are conscious.
+            "test_bench_solver_performance.py",
+        }
+        assert on_disk <= listed | {"test_bench_solver_performance.py"}, (
+            f"benches not documented in DESIGN.md: {sorted(missing)}"
+        )
+
+    def test_experiment_ids_are_unique(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        ids = re.findall(r"^\| (E\d+) \|", design, flags=re.MULTILINE)
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 15
+
+    def test_experiments_md_covers_design_ids(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        design_ids = set(
+            re.findall(r"^\| (E\d+) \|", design, flags=re.MULTILINE)
+        )
+        for experiment_id in design_ids:
+            assert re.search(
+                rf"\b{experiment_id} ", experiments
+            ), f"{experiment_id} has no EXPERIMENTS.md entry"
+
+
+class TestReadme:
+    def test_example_table_matches_disk(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        listed = set(re.findall(r"`(\w+\.py)`", readme))
+        on_disk = {path.name for path in (REPO / "examples").glob("*.py")}
+        missing = on_disk - listed
+        assert not missing, sorted(missing)
+
+    def test_docs_exist(self):
+        for name in ("ALGORITHM.md", "MODEL.md", "API.md"):
+            assert (REPO / "docs" / name).exists()
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(
+            path.stem for path in (REPO / "examples").glob("*.py")
+        ),
+    )
+    def test_example_compiles(self, name):
+        import py_compile
+
+        py_compile.compile(
+            str(REPO / "examples" / f"{name}.py"), doraise=True
+        )

@@ -1,0 +1,62 @@
+"""Tests for distributed edge-betweenness estimates (exchange by-product)."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_betweenness import edge_current_flow_betweenness
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.graphs.generators import barbell_graph, cycle_graph, grid_graph
+
+
+@pytest.fixture(scope="module")
+def run():
+    graph = grid_graph(3, 4)
+    exact = edge_current_flow_betweenness(graph)
+    result = estimate_rwbc_distributed(
+        graph, WalkParameters(length=100, walks_per_source=120), seed=17
+    )
+    return graph, exact, result
+
+
+class TestDistributedEdgeBetweenness:
+    def test_every_edge_covered(self, run):
+        graph, _, result = run
+        expected_keys = {
+            (min(u, v), max(u, v)) for u, v in graph.edges()
+        }
+        assert set(result.edge_betweenness) == expected_keys
+
+    def test_values_near_exact(self, run):
+        graph, exact, result = run
+        for (u, v), reference in exact.items():
+            key = (min(u, v), max(u, v))
+            estimate = result.edge_betweenness[key]
+            assert estimate == pytest.approx(reference, rel=0.35, abs=0.05)
+
+    def test_endpoint_agreement_is_exact(self, run):
+        """Both endpoints hold the same two count vectors, so their local
+        edge estimates agree to float precision; the averaged result is
+        positive and finite."""
+        _, _, result = run
+        for value in result.edge_betweenness.values():
+            assert np.isfinite(value)
+            assert value > 0
+
+    def test_bridge_edge_identified(self):
+        graph = barbell_graph(4, 0)
+        result = estimate_rwbc_distributed(
+            graph, WalkParameters(length=80, walks_per_source=80), seed=3
+        )
+        top_edge = max(
+            result.edge_betweenness, key=result.edge_betweenness.get
+        )
+        assert set(top_edge) == {3, 4}
+
+    def test_cycle_edges_near_uniform(self):
+        graph = cycle_graph(8)
+        result = estimate_rwbc_distributed(
+            graph, WalkParameters(length=100, walks_per_source=200), seed=5
+        )
+        values = list(result.edge_betweenness.values())
+        assert max(values) < 1.6 * min(values)

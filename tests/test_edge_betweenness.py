@@ -1,0 +1,121 @@
+"""Tests for current-flow edge betweenness and community detection."""
+
+import networkx as nx
+import pytest
+
+from repro.core.edge_betweenness import (
+    edge_current_flow_betweenness,
+    girvan_newman_current_flow,
+)
+from repro.graphs.convert import to_networkx
+from repro.graphs.datasets import karate_club
+from repro.graphs.generators import (
+    barbell_graph,
+    caveman_pair_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestEdgeBetweenness:
+    def test_path_hand_values(self):
+        """On P3 every pair's unit current crosses specific edges: edge
+        (0,1) carries pairs (0,1) and (0,2) fully -> 2/3 of pairs."""
+        values = edge_current_flow_betweenness(path_graph(3))
+        assert values[(0, 1)] == pytest.approx(2.0 / 3.0)
+        assert values[(1, 2)] == pytest.approx(2.0 / 3.0)
+
+    def test_star_edges_uniform(self):
+        values = edge_current_flow_betweenness(star_graph(6))
+        assert len({round(v, 10) for v in values.values()}) == 1
+
+    def test_cycle_edges_uniform(self):
+        values = edge_current_flow_betweenness(cycle_graph(7))
+        assert len({round(v, 10) for v in values.values()}) == 1
+
+    def test_bridge_edge_dominates(self):
+        graph = barbell_graph(4, 0)  # two K4s, single bridging edge
+        values = edge_current_flow_betweenness(graph)
+        bridge = max(values, key=values.get)
+        assert set(bridge) == {3, 4}
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx_up_to_normalization(self, seed):
+        """nx normalizes by (n-1)(n-2); ours by n(n-1)/2.  The exact
+        conversion is ours = nx * 2(n-2)/n."""
+        graph = erdos_renyi_graph(11, 0.4, seed=seed, ensure_connected=True)
+        n = graph.num_nodes
+        mine = edge_current_flow_betweenness(graph)
+        oracle = nx.edge_current_flow_betweenness_centrality(
+            to_networkx(graph), normalized=True
+        )
+        for (u, v), value in mine.items():
+            reference = oracle.get((u, v), oracle.get((v, u)))
+            assert value == pytest.approx(
+                reference * 2.0 * (n - 2) / n, rel=1e-8
+            )
+
+    def test_target_invariance(self):
+        graph = erdos_renyi_graph(9, 0.5, seed=2, ensure_connected=True)
+        a = edge_current_flow_betweenness(graph, target=0)
+        b = edge_current_flow_betweenness(graph, target=5)
+        for edge in a:
+            assert a[edge] == pytest.approx(b[edge], abs=1e-10)
+
+    def test_unnormalized_scale(self):
+        graph = path_graph(3)
+        raw = edge_current_flow_betweenness(graph, normalized=False)
+        assert raw[(0, 1)] == pytest.approx(2.0)
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            edge_current_flow_betweenness(Graph(nodes=[0]))
+
+
+class TestGirvanNewman:
+    def test_two_caves_split_cleanly(self):
+        graph = caveman_pair_graph(5, bridges=1, seed=0)
+        parts = girvan_newman_current_flow(graph, communities=2)
+        assert sorted(len(p) for p in parts) == [5, 5]
+        assert {frozenset(p) for p in parts} == {
+            frozenset(range(5)),
+            frozenset(range(5, 10)),
+        }
+
+    def test_karate_club_factions(self):
+        """The 1977 split, recovered: 32/34 nodes on the historically
+        correct side (the two classic boundary nodes may flip)."""
+        graph = karate_club()
+        parts = girvan_newman_current_flow(graph, communities=2)
+        mr_hi = {0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21}
+        officer = set(graph.nodes()) - mr_hi
+        a, b = parts
+        agreement = max(
+            len(a & mr_hi) + len(b & officer),
+            len(a & officer) + len(b & mr_hi),
+        )
+        assert agreement >= 31
+
+    def test_communities_one_is_noop(self):
+        graph = cycle_graph(6)
+        parts = girvan_newman_current_flow(graph, communities=1)
+        assert len(parts) == 1
+        assert parts[0] == set(range(6))
+
+    def test_full_split_possible(self):
+        graph = path_graph(4)
+        parts = girvan_newman_current_flow(graph, communities=4)
+        assert len(parts) == 4
+
+    def test_invalid_community_count(self):
+        with pytest.raises(GraphError):
+            girvan_newman_current_flow(path_graph(3), communities=5)
+
+    def test_budget_exhaustion(self):
+        with pytest.raises(GraphError):
+            girvan_newman_current_flow(
+                caveman_pair_graph(4, seed=0), communities=2, max_removals=0
+            )

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (workloads, runners, reporting)."""
+
+import pytest
+
+from repro.core.parameters import WalkParameters
+from repro.experiments.report import format_table, render_records, series
+from repro.experiments.runner import (
+    accuracy_row,
+    distributed_run_row,
+    related_measures_row,
+)
+from repro.experiments.sweep import sweep
+from repro.experiments.workloads import (
+    FAMILIES,
+    Workload,
+    default_battery,
+    make_workload,
+)
+from repro.graphs.graph import GraphError
+from repro.graphs.properties import is_connected
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_all_families_buildable(self, family):
+        workload = make_workload(family, 16, seed=1)
+        assert workload.n >= 2
+        assert is_connected(workload.graph)
+        assert workload.family == family
+
+    def test_reproducible(self):
+        a = make_workload("er", 20, seed=3)
+        b = make_workload("er", 20, seed=3)
+        assert a.graph == b.graph
+
+    def test_unknown_family(self):
+        with pytest.raises(GraphError):
+            make_workload("nope", 10)
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            make_workload("er", 1)
+
+    def test_default_battery(self):
+        battery = default_battery(seed=0)
+        assert len(battery) >= 6
+        assert all(isinstance(w, Workload) for w in battery)
+        assert all(is_connected(w.graph) for w in battery)
+
+
+class TestRunners:
+    def test_accuracy_row_fields(self):
+        workload = make_workload("cycle", 10)
+        row = accuracy_row(
+            workload.graph,
+            WalkParameters(length=80, walks_per_source=50),
+            seed=0,
+            label=workload.name,
+        )
+        assert row["workload"] == "cycle-10"
+        assert row["n"] == 10
+        assert 0 <= row["mean_rel"]
+        assert -1 <= row["tau"] <= 1
+
+    def test_distributed_row_fields(self):
+        workload = make_workload("grid", 9)
+        row = distributed_run_row(
+            workload.graph,
+            WalkParameters(length=60, walks_per_source=20),
+            seed=0,
+            label=workload.name,
+        )
+        assert row["rounds"] == (
+            row["rounds_setup"]
+            + row["rounds_counting"]
+            + row["rounds_exchange"]
+        )
+        assert row["max_msgs_edge"] >= 1
+
+    def test_related_measures_row(self):
+        workload = make_workload("fig1", 12)
+        row = related_measures_row(workload.graph, label="fig1")
+        for key in (
+            "tau_spbc",
+            "tau_flow",
+            "tau_pagerank",
+            "tau_alpha0.5",
+            "tau_alpha0.99",
+        ):
+            assert -1.0 <= row[key] <= 1.0
+        # alpha -> 1 correlates with RWBC at least as well as alpha = 0.5.
+        assert row["tau_alpha0.99"] >= row["tau_alpha0.5"] - 1e-9
+
+
+class TestSweep:
+    def test_grid_execution(self):
+        def row(a, b):
+            return {"sum": a + b}
+
+        rows = sweep(row, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert [r["sum"] for r in rows] == [3, 7]
+        # Grid points are echoed into rows.
+        assert rows[0]["a"] == 1
+
+    def test_common_kwargs(self):
+        def row(a, scale):
+            return {"value": a * scale}
+
+        rows = sweep(row, [{"a": 2}], scale=10)
+        assert rows[0]["value"] == 20
+
+    def test_bad_grid(self):
+        with pytest.raises(GraphError):
+            sweep(lambda: {}, [42])
+
+
+class TestReport:
+    def test_format_basic(self):
+        table = format_table([{"a": 1, "b": 2.5}, {"a": 30, "b": 0.001}])
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len(lines) == 4
+
+    def test_column_selection(self):
+        table = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            format_table([])
+
+    def test_render_records_title(self):
+        block = render_records("My Table", [{"x": 1}])
+        assert "My Table" in block
+
+    def test_series(self):
+        points = series([{"x": 1, "y": 2}, {"x": 3, "y": 4}], "x", "y")
+        assert points == [(1, 2), (3, 4)]
+        with pytest.raises(GraphError):
+            series([], "x", "y")
+
+
+class TestPublicAPI:
+    def test_top_level_imports(self):
+        import repro
+
+        assert callable(repro.estimate_rwbc_distributed)
+        assert callable(repro.estimate_rwbc_montecarlo)
+        assert callable(repro.rwbc_exact)
+        assert repro.__version__

@@ -1,0 +1,51 @@
+"""Tests for the standalone experiment-table generator."""
+
+import pytest
+
+from repro.experiments.generate import (
+    REGISTRY,
+    load_collector,
+    main,
+    run_experiment,
+)
+from repro.graphs.graph import GraphError
+
+
+class TestRegistry:
+    def test_registered_files_exist(self):
+        from repro.experiments.generate import BENCH_DIR
+
+        for filename, attribute in REGISTRY.values():
+            assert (BENCH_DIR / filename).exists(), filename
+
+    def test_all_collectors_loadable(self):
+        for experiment_id in REGISTRY:
+            assert callable(load_collector(experiment_id))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(GraphError):
+            load_collector("E999")
+
+
+class TestRun:
+    def test_e1_renders_table(self):
+        output = run_experiment("E1")
+        assert "spbc" in output
+        assert "rwbc" in output
+
+    def test_e5_renders_table(self):
+        output = run_experiment("E5")
+        assert "max_msg_bits" in output
+
+    def test_main_lists_registry(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "E17" in out
+
+    def test_main_runs_experiment(self, capsys):
+        assert main(["E1"]) == 0
+        assert "rwbc" in capsys.readouterr().out
+
+    def test_main_unknown(self, capsys):
+        assert main(["E999"]) == 2
+        assert "error" in capsys.readouterr().err

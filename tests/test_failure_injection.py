@@ -1,0 +1,94 @@
+"""Failure-injection tests: what breaks when channels are lossy.
+
+The CONGEST model assumes reliable synchronous channels.  These tests
+document exactly how the protocols depend on that: lost walk tokens stall
+the monotone death counter, so the RWBC protocol fails *detectably*
+(round-limit exceeded) instead of returning silently corrupted values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest.errors import ConfigError, RoundLimitExceeded
+from repro.congest.primitives.bfs import make_bfs_factory
+from repro.congest.scheduler import Simulator
+from repro.core.protocol import ProtocolConfig, make_protocol_factory
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+from repro.graphs.properties import bfs_distances
+
+
+class TestDropRateConfig:
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigError):
+            Simulator(path_graph(3), make_bfs_factory(0), drop_rate=1.0)
+        with pytest.raises(ConfigError):
+            Simulator(path_graph(3), make_bfs_factory(0), drop_rate=-0.1)
+
+    def test_zero_rate_is_default_behaviour(self):
+        graph = cycle_graph(6)
+        lossless = Simulator(
+            graph, make_bfs_factory(0), seed=1, drop_rate=0.0
+        ).run()
+        default = Simulator(graph, make_bfs_factory(0), seed=1).run()
+        for node in graph.nodes():
+            assert (
+                lossless.program(node).distance
+                == default.program(node).distance
+            )
+
+
+class TestLossyBFS:
+    def test_total_loss_leaves_nodes_unreached(self):
+        """With every message dropped, only the root knows anything."""
+        graph = path_graph(5)
+        result = Simulator(
+            graph, make_bfs_factory(0), seed=0, drop_rate=0.999999
+        ).run()
+        # Statistically all messages are gone; distance None downstream.
+        unreached = [
+            v for v in graph.nodes() if result.program(v).distance is None
+        ]
+        assert len(unreached) >= 3
+
+    def test_light_loss_can_inflate_distances(self):
+        """Lost wave fronts mean later (longer) paths win: distances are
+        upper bounds, never underestimates."""
+        graph = erdos_renyi_graph(20, 0.25, seed=3, ensure_connected=True)
+        exact = bfs_distances(graph, 0)
+        result = Simulator(
+            graph, make_bfs_factory(0), seed=3, drop_rate=0.3
+        ).run()
+        for node in graph.nodes():
+            got = result.program(node).distance
+            if got is not None:
+                assert got >= exact[node]
+
+
+class TestLossyRWBCProtocol:
+    def test_fails_detectably_not_silently(self):
+        """Dropped walk tokens are never counted as deaths, so the
+        termination detector cannot fire and the run hits the round
+        limit - a loud failure instead of a wrong answer."""
+        graph = cycle_graph(8)
+        config = ProtocolConfig(length=40, walks_per_source=10)
+        simulator = Simulator(
+            graph,
+            make_protocol_factory(config),
+            seed=2,
+            drop_rate=0.2,
+            max_rounds=2000,
+        )
+        with pytest.raises(RoundLimitExceeded):
+            simulator.run()
+
+    def test_reproducible_drops(self):
+        graph = path_graph(6)
+        runs = []
+        for _ in range(2):
+            result = Simulator(
+                graph, make_bfs_factory(0), seed=9, drop_rate=0.5
+            ).run()
+            runs.append(
+                tuple(result.program(v).distance for v in graph.nodes())
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,252 @@
+"""Unit + property tests for graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    barbell_graph,
+    caveman_pair_graph,
+    complete_graph,
+    connectivity_threshold_p,
+    cycle_graph,
+    erdos_renyi_graph,
+    expected_er_edges,
+    fig1_graph,
+    fig1_node_roles,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz_graph,
+    wheel_graph,
+)
+from repro.graphs.graph import GraphError
+from repro.graphs.properties import diameter, is_connected
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert diameter(graph) == 4
+
+    def test_path_single_node(self):
+        assert path_graph(1).num_nodes == 1
+
+    def test_path_invalid(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+        assert diameter(graph) == 3
+
+    def test_cycle_invalid(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+        assert diameter(graph) == 1
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 1 for v in range(1, 6))
+
+    def test_wheel(self):
+        graph = wheel_graph(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 3 for v in range(1, 6))
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4
+        assert diameter(graph) == 2 + 3
+
+    def test_barbell(self):
+        graph = barbell_graph(4, 2)
+        assert graph.num_nodes == 10
+        assert is_connected(graph)
+        # Two K4s plus 3 bridge edges.
+        assert graph.num_edges == 2 * 6 + 3
+
+    def test_barbell_zero_path(self):
+        graph = barbell_graph(3, 0)
+        assert graph.num_nodes == 6
+        assert is_connected(graph)
+
+    def test_lollipop(self):
+        graph = lollipop_graph(4, 3)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 6 + 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            barbell_graph(2, 1)
+        with pytest.raises(GraphError):
+            lollipop_graph(3, -1)
+        with pytest.raises(GraphError):
+            star_graph(1)
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestFig1:
+    def test_structure(self):
+        graph = fig1_graph(group_size=5)
+        roles = fig1_node_roles(group_size=5)
+        assert graph.num_nodes == 15
+        assert is_connected(graph)
+        # A is adjacent to every left node and to B.
+        assert graph.degree(roles["A"]) == 6
+        assert graph.has_edge(roles["A"], roles["B"])
+        # C sits mid-detour with exactly its two chain edges.
+        assert graph.degree(roles["C"]) == 2
+        assert graph.has_edge(roles["C"], roles["C1"])
+        assert graph.has_edge(roles["C"], roles["C3"])
+
+    def test_c_off_shortest_paths(self):
+        """Left-to-right via A-B is 3 hops; the detour takes 4."""
+        from repro.graphs.properties import bfs_distances
+
+        graph = fig1_graph(group_size=4)
+        roles = fig1_node_roles(group_size=4)
+        distances = bfs_distances(graph, roles["left"])
+        assert distances[roles["right"]] == 3
+        # Going via the detour from left[0] costs 4.
+        assert distances[roles["C3"]] == 3
+        assert distances[roles["C"]] == 2
+
+
+class TestRandomFamilies:
+    def test_er_reproducible(self):
+        a = erdos_renyi_graph(30, 0.2, seed=7)
+        b = erdos_renyi_graph(30, 0.2, seed=7)
+        assert a == b
+
+    def test_er_different_seeds_differ(self):
+        a = erdos_renyi_graph(30, 0.2, seed=1)
+        b = erdos_renyi_graph(30, 0.2, seed=2)
+        assert a != b
+
+    def test_er_extreme_p(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_er_ensure_connected(self):
+        graph = erdos_renyi_graph(40, 0.15, seed=3, ensure_connected=True)
+        assert is_connected(graph)
+
+    def test_er_ensure_connected_impossible(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 0.0, seed=0, ensure_connected=True, max_tries=3)
+
+    def test_er_invalid_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_ba_structure(self):
+        graph = barabasi_albert_graph(50, 3, seed=11)
+        assert graph.num_nodes == 50
+        assert is_connected(graph)
+        # (m+1)-clique plus m edges per remaining node.
+        assert graph.num_edges == 6 + 3 * (50 - 4)
+
+    def test_ba_invalid(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5)
+
+    def test_ws_structure(self):
+        graph = watts_strogatz_graph(30, 4, 0.1, seed=5)
+        assert graph.num_nodes == 30
+        # Rewiring preserves the edge count.
+        assert graph.num_edges == 30 * 2
+
+    def test_ws_zero_beta_is_lattice(self):
+        graph = watts_strogatz_graph(12, 4, 0.0, seed=0)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_ws_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+    def test_regular(self):
+        graph = random_regular_graph(20, 4, seed=9)
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_regular_parity(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_tree(self):
+        graph = random_tree(25, seed=4)
+        assert graph.num_edges == 24
+        assert is_connected(graph)
+
+    def test_tree_tiny(self):
+        assert random_tree(1).num_nodes == 1
+        assert random_tree(2).num_edges == 1
+
+    def test_caveman(self):
+        graph = caveman_pair_graph(5, bridges=2, seed=6)
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 2 * 10 + 2
+        assert is_connected(graph)
+
+
+class TestHelpers:
+    def test_expected_er_edges(self):
+        assert expected_er_edges(10, 0.5) == pytest.approx(22.5)
+
+    def test_connectivity_threshold(self):
+        p = connectivity_threshold_p(100)
+        assert 0 < p <= 1
+        assert connectivity_threshold_p(1) == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=3, max_value=40), seed=st.integers(0, 1000))
+def test_random_tree_always_connected_acyclic(n, seed):
+    graph = random_tree(n, seed=seed)
+    assert graph.num_nodes == n
+    assert graph.num_edges == n - 1
+    assert is_connected(graph)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 1000),
+)
+def test_er_edge_bounds(n, p, seed):
+    graph = erdos_renyi_graph(n, p, seed=seed)
+    assert graph.num_nodes == n
+    assert 0 <= graph.num_edges <= n * (n - 1) // 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=30),
+    seed=st.integers(0, 1000),
+)
+def test_regular_graph_is_regular(n, seed):
+    d = 4 if (n * 4) % 2 == 0 else 3
+    graph = random_regular_graph(n, d, seed=seed)
+    assert all(graph.degree(v) == d for v in graph.nodes())
+    assert np.isclose(sum(graph.degree(v) for v in graph.nodes()), n * d)

@@ -1,0 +1,125 @@
+"""Tests for the extended generator family (hypercube, K_ab, caveman
+ring, power-law cluster)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    caveman_ring_graph,
+    complete_bipartite_graph,
+    hypercube_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graphs.graph import GraphError
+from repro.graphs.properties import (
+    diameter,
+    is_bipartite,
+    is_connected,
+    triangles,
+)
+
+
+class TestHypercube:
+    def test_structure(self):
+        for d in (1, 2, 3, 4):
+            graph = hypercube_graph(d)
+            assert graph.num_nodes == 2**d
+            assert graph.num_edges == d * 2 ** (d - 1)
+            assert all(graph.degree(v) == d for v in graph.nodes())
+
+    def test_diameter_is_dimension(self):
+        for d in (2, 3, 4):
+            assert diameter(hypercube_graph(d)) == d
+
+    def test_bipartite(self):
+        assert is_bipartite(hypercube_graph(4))
+
+    def test_bounds(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+        with pytest.raises(GraphError):
+            hypercube_graph(17)
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 12
+        assert is_bipartite(graph)
+        assert all(graph.degree(v) == 4 for v in range(3))
+        assert all(graph.degree(v) == 3 for v in range(3, 7))
+
+    def test_star_special_case(self):
+        graph = complete_bipartite_graph(1, 5)
+        assert graph.degree(0) == 5
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            complete_bipartite_graph(0, 3)
+
+
+class TestCavemanRing:
+    def test_structure(self):
+        caves, size = 4, 5
+        graph = caveman_ring_graph(caves, size)
+        assert graph.num_nodes == caves * size
+        # Full cliques plus one bridge per cave.
+        assert graph.num_edges == caves * (size * (size - 1) // 2) + caves
+        assert is_connected(graph)
+
+    def test_bridges_are_brokers(self):
+        from repro.core.exact import rwbc_exact
+
+        graph = caveman_ring_graph(3, 4)
+        values = rwbc_exact(graph)
+        # Bridge endpoints: last of each cave and first of each cave.
+        bridge_nodes = {c * 4 + 3 for c in range(3)} | {c * 4 for c in range(3)}
+        interior = set(graph.nodes()) - bridge_nodes
+        assert min(values[b] for b in bridge_nodes) > max(
+            values[i] for i in interior
+        )
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            caveman_ring_graph(2, 4)
+        with pytest.raises(GraphError):
+            caveman_ring_graph(3, 2)
+
+
+class TestPowerlawCluster:
+    def test_structure(self):
+        graph = powerlaw_cluster_graph(40, 3, 0.5, seed=1)
+        assert graph.num_nodes == 40
+        assert is_connected(graph)
+        # Same edge count as BA: K_{m+1} seed plus m per new node.
+        assert graph.num_edges == 6 + 3 * (40 - 4)
+
+    def test_triangle_probability_raises_clustering(self):
+        low = powerlaw_cluster_graph(60, 3, 0.0, seed=2)
+        high = powerlaw_cluster_graph(60, 3, 0.9, seed=2)
+        assert triangles(high) > triangles(low)
+
+    def test_reproducible(self):
+        a = powerlaw_cluster_graph(30, 2, 0.4, seed=7)
+        b = powerlaw_cluster_graph(30, 2, 0.4, seed=7)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(5, 5, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(d=st.integers(1, 6))
+def test_hypercube_vertex_transitive_betweenness(d):
+    """Perfect symmetry: every node has identical RWBC."""
+    if d < 2:
+        return
+    from repro.core.exact import rwbc_exact
+
+    values = rwbc_exact(hypercube_graph(d))
+    assert len({round(v, 9) for v in values.values()}) == 1

@@ -1,0 +1,181 @@
+"""Unit tests for the core Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_nodes_only(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_edges_imply_nodes(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_edge_ignored(self):
+        graph = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(edges=[(0, 0)])
+
+    def test_add_existing_node_noop(self):
+        graph = Graph(nodes=[0])
+        graph.add_node(0)
+        assert graph.num_nodes == 1
+
+
+class TestQueries:
+    def test_neighbors(self):
+        graph = Graph(edges=[(0, 1), (0, 2)])
+        assert graph.neighbors(0) == frozenset({1, 2})
+        assert graph.neighbors(1) == frozenset({0})
+
+    def test_neighbors_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph().neighbors(0)
+
+    def test_degree(self):
+        graph = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(3) == 1
+
+    def test_degree_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph().degree(9)
+
+    def test_has_edge_symmetric(self):
+        graph = Graph(edges=[(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_contains_and_len(self):
+        graph = Graph(edges=[(0, 1)])
+        assert 0 in graph
+        assert 5 not in graph
+        assert len(graph) == 2
+
+    def test_edges_emitted_once(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert len({frozenset(e) for e in edges}) == 3
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+        assert graph.num_nodes == 3
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(GraphError):
+            Graph(edges=[(0, 1)]).remove_edge(1, 2)
+
+    def test_remove_node(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        graph.remove_node(1)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 2)
+
+    def test_remove_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph().remove_node(0)
+
+
+class TestCanonicalOrder:
+    def test_sorted_order(self):
+        graph = Graph(nodes=[5, 2, 9])
+        assert graph.canonical_order() == (2, 5, 9)
+
+    def test_index_roundtrip(self):
+        graph = Graph(nodes=[5, 2, 9])
+        for i, node in enumerate(graph.canonical_order()):
+            assert graph.index_of(node) == i
+
+    def test_index_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[1]).index_of(2)
+
+    def test_cache_invalidated_on_mutation(self):
+        graph = Graph(nodes=[1, 3])
+        assert graph.canonical_order() == (1, 3)
+        graph.add_node(2)
+        assert graph.canonical_order() == (1, 2, 3)
+        assert graph.index_of(2) == 1
+
+
+class TestMatrices:
+    def test_adjacency_matrix_triangle(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        expected = np.array(
+            [[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float
+        )
+        np.testing.assert_array_equal(graph.adjacency_matrix(), expected)
+
+    def test_adjacency_symmetric(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (3, 0)])
+        matrix = graph.adjacency_matrix()
+        np.testing.assert_array_equal(matrix, matrix.T)
+
+    def test_degree_vector_matches_row_sums(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        np.testing.assert_array_equal(
+            graph.degree_vector(), graph.adjacency_matrix().sum(axis=1)
+        )
+
+    def test_laplacian_rows_sum_to_zero(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        np.testing.assert_allclose(
+            graph.laplacian_matrix().sum(axis=1), np.zeros(4)
+        )
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_nodes == 2
+        assert clone.num_nodes == 3
+
+    def test_subgraph(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+
+    def test_subgraph_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[0]).subgraph([0, 7])
+
+    def test_relabeled(self):
+        graph = Graph(edges=[(10, 20), (20, 30)])
+        relabeled, mapping = graph.relabeled()
+        assert sorted(relabeled.nodes()) == [0, 1, 2]
+        assert relabeled.has_edge(mapping[10], mapping[20])
+        assert relabeled.has_edge(mapping[20], mapping[30])
+
+    def test_equality(self):
+        a = Graph(edges=[(0, 1), (1, 2)])
+        b = Graph(edges=[(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b

@@ -1,0 +1,87 @@
+"""Tests for edge-list I/O and networkx conversion."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.generators import erdos_renyi_graph, path_graph
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        graph = erdos_renyi_graph(15, 0.3, seed=0)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_roundtrip_with_isolated_nodes(self, tmp_path):
+        graph = Graph(nodes=[0, 1, 2, 9], edges=[(0, 1)])
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+        assert loaded.has_node(9)
+
+    def test_string_labels(self, tmp_path):
+        graph = Graph(edges=[("alice", "bob"), ("bob", "carol")])
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("# comment\n\n0 1\n\n# more\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "loop.edges"
+        path.write_text("3 3\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        write_edge_list(Graph(), path)
+        assert read_edge_list(path).num_nodes == 0
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=1)
+        assert from_networkx(to_networkx(graph)) == graph
+
+    def test_to_networkx_preserves_structure(self):
+        graph = path_graph(5)
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 5
+        assert nx_graph.number_of_edges() == 4
+
+    def test_isolated_nodes_preserved(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 3
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_self_loop_rejected(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        with pytest.raises(GraphError):
+            from_networkx(nx_graph)

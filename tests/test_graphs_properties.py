@@ -1,0 +1,140 @@
+"""Tests for structural graph properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.properties import (
+    average_degree,
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    density,
+    diameter,
+    eccentricities,
+    is_bipartite,
+    is_connected,
+    radius,
+    triangles,
+)
+
+
+class TestConnectivity:
+    def test_single_component(self):
+        assert len(connected_components(path_graph(5))) == 1
+
+    def test_two_components(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+
+    def test_isolated_nodes(self):
+        graph = Graph(nodes=[0, 1, 2])
+        assert len(connected_components(graph)) == 3
+        assert not is_connected(graph)
+
+    def test_empty_and_singleton_connected(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph(nodes=[0]))
+
+
+class TestDistances:
+    def test_bfs_distances_path(self):
+        distances = bfs_distances(path_graph(4), 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(Graph(), 0)
+
+    def test_bfs_unreachable_omitted(self):
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        assert 2 not in bfs_distances(graph, 0)
+
+    def test_diameter_known_values(self):
+        assert diameter(path_graph(7)) == 6
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(complete_graph(5)) == 1
+        assert diameter(star_graph(9)) == 2
+        assert diameter(grid_graph(4, 6)) == 8
+
+    def test_diameter_disconnected(self):
+        with pytest.raises(GraphError):
+            diameter(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_diameter_empty(self):
+        with pytest.raises(GraphError):
+            diameter(Graph())
+
+    def test_radius_le_diameter(self):
+        graph = grid_graph(3, 5)
+        assert radius(graph) <= diameter(graph) <= 2 * radius(graph)
+
+    def test_eccentricities_path(self):
+        ecc = eccentricities(path_graph(5))
+        assert ecc[0] == 4
+        assert ecc[2] == 2
+
+
+class TestDegreeStats:
+    def test_degree_histogram(self):
+        assert degree_histogram(star_graph(5)) == {4: 1, 1: 4}
+
+    def test_average_degree(self):
+        assert average_degree(cycle_graph(10)) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        with pytest.raises(GraphError):
+            average_degree(Graph())
+
+    def test_density(self):
+        assert density(complete_graph(6)) == pytest.approx(1.0)
+        assert density(Graph(nodes=[0])) == 0.0
+
+
+class TestStructure:
+    def test_bipartite(self):
+        assert is_bipartite(path_graph(6))
+        assert is_bipartite(cycle_graph(8))
+        assert not is_bipartite(cycle_graph(7))
+        assert not is_bipartite(complete_graph(4))
+
+    def test_triangles(self):
+        assert triangles(complete_graph(4)) == 4
+        assert triangles(cycle_graph(5)) == 0
+        assert triangles(star_graph(6)) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(0, 500),
+)
+def test_components_partition_nodes(n, seed):
+    graph = erdos_renyi_graph(n, 0.15, seed=seed)
+    components = connected_components(graph)
+    all_nodes = [node for component in components for node in component]
+    assert sorted(all_nodes) == sorted(graph.nodes())
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=3, max_value=20), seed=st.integers(0, 500))
+def test_bfs_triangle_inequality(n, seed):
+    graph = erdos_renyi_graph(n, 0.5, seed=seed, ensure_connected=True)
+    source = 0
+    distances = bfs_distances(graph, source)
+    for u, v in graph.edges():
+        assert abs(distances[u] - distances[v]) <= 1

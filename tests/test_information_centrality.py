@@ -1,0 +1,75 @@
+"""Tests for information / current-flow closeness centrality."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.ranking import kendall_tau
+from repro.baselines.information import (
+    current_flow_closeness,
+    information_centrality,
+)
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+
+
+class TestInformationCentrality:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        """networkx drops the Stephenson-Zelen ``n`` numerator; the exact
+        relation is ``ours = n * networkx``."""
+        graph = erdos_renyi_graph(12, 0.35, seed=seed, ensure_connected=True)
+        n = graph.num_nodes
+        mine = information_centrality(graph)
+        oracle = nx.information_centrality(to_networkx(graph))
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(n * oracle[node], rel=1e-8)
+
+    def test_star_hub_dominates(self):
+        values = information_centrality(star_graph(8))
+        assert values[0] == max(values.values())
+
+    def test_complete_graph_uniform(self):
+        values = information_centrality(complete_graph(6))
+        assert len({round(v, 10) for v in values.values()}) == 1
+
+    def test_path_center_dominates(self):
+        values = information_centrality(path_graph(7))
+        assert values[3] == max(values.values())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            information_centrality(Graph(nodes=[0]))
+        with pytest.raises(GraphError):
+            information_centrality(Graph(edges=[(0, 1), (2, 3)]))
+
+
+class TestCurrentFlowCloseness:
+    def test_same_ranking_as_information(self):
+        graph = erdos_renyi_graph(14, 0.3, seed=3, ensure_connected=True)
+        info = information_centrality(graph)
+        closeness = current_flow_closeness(graph)
+        assert kendall_tau(info, closeness) == pytest.approx(1.0)
+
+    def test_path_values_by_hand(self):
+        """P3: R(1, .) = 1 + 1 = 2 -> closeness 2/2 = 1; ends: 1 + 2 = 3."""
+        values = current_flow_closeness(path_graph(3))
+        assert values[1] == pytest.approx(1.0)
+        assert values[0] == pytest.approx(2.0 / 3.0)
+
+    def test_matches_networkx_cfcc(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=4, ensure_connected=True)
+        mine = current_flow_closeness(graph)
+        oracle = nx.current_flow_closeness_centrality(to_networkx(graph))
+        # networkx omits the (n-1) numerator scaling; ranking identical
+        # and values proportional.
+        n = graph.num_nodes
+        for node in graph.nodes():
+            assert mine[node] == pytest.approx(
+                oracle[node] * (n - 1), rel=1e-8
+            )

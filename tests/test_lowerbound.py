@@ -1,0 +1,235 @@
+"""Tests for the section VIII lower-bound machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import GraphError
+from repro.graphs.lowerbound_graph import (
+    all_half_subsets,
+    build_lower_bound_graph,
+    encode_values_as_subsets,
+    required_m,
+)
+from repro.graphs.properties import is_connected
+from repro.lowerbound.construction import instance_to_graph
+from repro.lowerbound.disjointness import (
+    DisjointnessInstance,
+    random_disjoint_instance,
+    random_instance,
+    random_intersecting_instance,
+)
+from repro.lowerbound.verify import (
+    lemma4_separation,
+    lemma5_profile,
+    lemma6_profile,
+    match_pairs,
+    probe_betweenness,
+)
+
+
+class TestDisjointnessInstances:
+    def test_basic_properties(self):
+        instance = DisjointnessInstance((0, 1), (2, 3))
+        assert instance.n == 2
+        assert instance.is_disjoint()
+        assert instance.intersection() == frozenset()
+
+    def test_intersection_detected(self):
+        instance = DisjointnessInstance((0, 1), (1, 3))
+        assert not instance.is_disjoint()
+        assert instance.intersection() == frozenset({1})
+
+    def test_input_bits(self):
+        instance = DisjointnessInstance(tuple(range(4)), tuple(range(4, 8)))
+        assert instance.input_bits() == 4 * math.ceil(math.log2(16))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(GraphError):
+            DisjointnessInstance((1, 1), (2, 3))
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(GraphError):
+            DisjointnessInstance((0, 99), (1, 2))
+
+    def test_random_disjoint(self):
+        for seed in range(10):
+            assert random_disjoint_instance(5, seed=seed).is_disjoint()
+
+    def test_random_intersecting(self):
+        for seed in range(10):
+            instance = random_intersecting_instance(5, overlap=2, seed=seed)
+            assert len(instance.intersection()) == 2
+
+    def test_random_instance_valid(self):
+        instance = random_instance(6, seed=0)
+        assert instance.n == 6
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_intersecting_instance(3, overlap=5)
+        with pytest.raises(GraphError):
+            random_disjoint_instance(0)
+
+
+class TestEncoding:
+    def test_required_m_capacity(self):
+        for n in (2, 4, 10, 30):
+            m = required_m(n)
+            assert math.comb(m, m // 2) >= n * n
+            assert m % 2 == 0
+
+    def test_required_m_logarithmic(self):
+        """M = O(log N): doubling N adds O(1) to M."""
+        assert required_m(64) - required_m(8) <= 8
+
+    def test_encoding_injective(self):
+        m = required_m(5)
+        values = list(range(25))
+        subsets = encode_values_as_subsets(values, m)
+        assert len(set(subsets)) == len(values)
+        assert all(len(s) == m // 2 for s in subsets)
+
+    def test_encoding_deterministic(self):
+        m = required_m(4)
+        a = encode_values_as_subsets([3, 7], m)
+        b = encode_values_as_subsets([3, 7], m)
+        assert a == b
+
+    def test_out_of_range_value(self):
+        with pytest.raises(GraphError):
+            encode_values_as_subsets([10**9], 6)
+
+    def test_all_half_subsets(self):
+        assert len(all_half_subsets(4)) == 6
+
+
+class TestConstruction:
+    def test_node_count_formula(self):
+        """n = 2N + 2M + 3 (the paper's count)."""
+        m, n_subsets = 6, 4
+        families = all_half_subsets(m)
+        construction = build_lower_bound_graph(
+            families[:n_subsets], families[:n_subsets], m
+        )
+        assert construction.graph.num_nodes == 2 * n_subsets + 2 * m + 3
+
+    def test_connected(self):
+        construction = instance_to_graph(random_instance(4, seed=1))
+        assert is_connected(construction.graph)
+
+    def test_rail_edges(self):
+        construction = instance_to_graph(random_instance(3, seed=2))
+        for j in range(construction.m):
+            assert construction.graph.has_edge(
+                construction.l_node(j), construction.r_node(j)
+            )
+
+    def test_hub_wiring(self):
+        construction = instance_to_graph(random_instance(3, seed=3))
+        graph = construction.graph
+        assert graph.has_edge(construction.a_node, construction.b_node)
+        for j in range(construction.m):
+            assert graph.has_edge(construction.a_node, construction.l_node(j))
+            assert graph.has_edge(construction.b_node, construction.r_node(j))
+
+    def test_probe_wiring(self):
+        construction = instance_to_graph(random_instance(3, seed=4))
+        graph = construction.graph
+        for i in range(construction.n_subsets):
+            assert graph.has_edge(construction.p_node, construction.s_node(i))
+            assert graph.has_edge(construction.p_node, construction.t_node(i))
+
+    def test_cut_size_measured(self):
+        """As built, the cut is M rails + 1 hub edge + N probe edges -
+        larger than the paper's claimed c_k = M (see EXPERIMENTS.md E8)."""
+        construction = instance_to_graph(random_instance(4, seed=5))
+        cut = construction.cut_edges(probe_with_alice=True)
+        expected = construction.m + 1 + construction.n_subsets
+        assert len(cut) == expected
+
+    def test_family_validation(self):
+        with pytest.raises(GraphError):
+            build_lower_bound_graph([frozenset({0})], [frozenset({0})], 5)
+        with pytest.raises(GraphError):
+            build_lower_bound_graph(
+                [frozenset({0, 1})], [frozenset({0, 1}), frozenset({2, 3})], 4
+            )
+        with pytest.raises(GraphError):
+            build_lower_bound_graph([frozenset({0})], [frozenset({1})], 4)
+
+    def test_index_bounds(self):
+        construction = instance_to_graph(random_instance(2, seed=6))
+        with pytest.raises(GraphError):
+            construction.l_node(construction.m)
+        with pytest.raises(GraphError):
+            construction.s_node(-1)
+
+
+class TestMatchDetection:
+    def test_collision_creates_match(self):
+        instance = random_intersecting_instance(3, overlap=1, seed=7)
+        construction = instance_to_graph(instance, precomplement_bob=True)
+        assert len(match_pairs(construction)) >= 1
+
+    def test_disjoint_creates_no_match(self):
+        instance = random_disjoint_instance(3, seed=8)
+        construction = instance_to_graph(instance, precomplement_bob=True)
+        assert match_pairs(construction) == []
+
+
+class TestLemmas:
+    def test_lemma5(self):
+        """Fig. 3: b_P minimal exactly when T_1 sits on S_1's rail."""
+        profile = lemma5_profile(m=4)
+        assert profile[0] < min(profile[j] for j in range(1, 4))
+        # Non-matching rails are symmetric.
+        others = {round(profile[j], 10) for j in range(1, 4)}
+        assert len(others) == 1
+
+    def test_lemma6(self):
+        """Fig. 5: b_P minimal when S_2 joins the already-used rail."""
+        profile = lemma6_profile(m=4)
+        assert profile[0] < min(profile[j] for j in range(1, 4))
+
+    def test_lemma4_statistical_tendency(self):
+        """Random instances with FULL value intersection score lower than
+        disjoint ones on average.  (With a single collision the mean gap
+        is within noise at small M, and the clean per-instance separation
+        the paper claims never materializes - see EXPERIMENTS.md E7.)"""
+        for seed in (0, 100, 200):
+            result = lemma4_separation(
+                n_subsets=3, trials=10, seed=seed, overlap=3
+            )
+            assert result.mean_gap > 0
+
+    def test_lemma4_mechanism_monotone(self):
+        """The noise-free N=1 sweep: b_P strictly decreases with the
+        rail-pattern overlap, constant within each overlap level."""
+        from repro.lowerbound.verify import n1_overlap_profile
+
+        profile = n1_overlap_profile(m=4)
+        assert sorted(profile) == [0, 1, 2]
+        # Rail symmetry: one value per level.
+        for values in profile.values():
+            assert len(values) == 1
+        assert profile[2][0] < profile[1][0] < profile[0][0]
+
+    def test_gap_property_consistency(self):
+        """SeparationResult arithmetic is self-consistent."""
+        result = lemma4_separation(n_subsets=3, trials=4, seed=0)
+        assert result.gap == min(result.disjoint_values) - max(
+            result.intersecting_values
+        )
+        assert result.separates == (result.gap > 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(2, 6), seed=st.integers(0, 200))
+def test_probe_betweenness_well_defined(n, seed):
+    construction = instance_to_graph(random_instance(n, seed=seed))
+    value = probe_betweenness(construction)
+    total = construction.graph.num_nodes
+    assert 2.0 / total - 1e-9 <= value <= 1.0 + 1e-9

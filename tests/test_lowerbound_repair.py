@@ -1,0 +1,72 @@
+"""Tests for the repaired (split-probe) lower-bound construction."""
+
+import pytest
+
+from repro.graphs.graph import GraphError
+from repro.graphs.properties import is_connected
+from repro.lowerbound.disjointness import random_instance
+from repro.lowerbound.repair import (
+    probe_pair_betweenness,
+    repair_construction,
+    repaired_instance_graph,
+    repaired_overlap_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def repaired():
+    return repaired_instance_graph(random_instance(3, seed=0))
+
+
+class TestRepairStructure:
+    def test_cut_is_m_plus_2(self, repaired):
+        """The whole point of the repair: cut = rails + A-B + P_A-P_B."""
+        assert len(repaired.cut_edges()) == repaired.base.m + 2
+
+    def test_connected(self, repaired):
+        assert is_connected(repaired.graph)
+
+    def test_probe_split(self, repaired):
+        graph = repaired.graph
+        assert graph.has_edge(repaired.pa_node, repaired.pb_node)
+        # P_A only touches S nodes (plus P_B); P_B only T nodes.
+        for i in range(repaired.base.n_subsets):
+            assert graph.has_edge(repaired.pa_node, repaired.base.s_node(i))
+            assert graph.has_edge(repaired.pb_node, repaired.base.t_node(i))
+            assert not graph.has_edge(
+                repaired.pa_node, repaired.base.t_node(i)
+            )
+
+    def test_node_count(self, repaired):
+        assert (
+            repaired.graph.num_nodes == repaired.base.graph.num_nodes + 1
+        )
+
+    def test_label_collision_rejected(self):
+        """Defensive check: a base graph already using the P_B label is
+        rejected instead of silently rewired."""
+        from repro.lowerbound.construction import instance_to_graph
+
+        base = instance_to_graph(random_instance(2, seed=1))
+        base.graph.add_node(base.p_node + 1)
+        with pytest.raises(GraphError):
+            repair_construction(base)
+
+
+class TestRepairSignal:
+    def test_overlap_monotonicity_survives(self):
+        """The DISJ-deciding signal survives the surgery: P_A's
+        betweenness is strictly decreasing in rail-pattern overlap,
+        exactly as in the original construction (E7c)."""
+        profile = repaired_overlap_profile(m=4)
+        assert sorted(profile) == [0, 1, 2]
+        for values in profile.values():
+            assert len(values) == 1  # rail symmetry intact
+        levels = [profile[k][0] for k in sorted(profile)]
+        assert levels[0] > levels[1] > levels[2]
+
+    def test_probe_pair_values_sane(self, repaired):
+        pa, pb = probe_pair_betweenness(repaired)
+        n = repaired.graph.num_nodes
+        for value in (pa, pb):
+            assert 2.0 / n - 1e-9 <= value <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for Markov centrality and the algebraic-connectivity helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.markov import markov_centrality, mean_hitting_times
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.resistance import hitting_time
+from repro.walks.spectral import (
+    algebraic_connectivity,
+    length_for_epsilon,
+    relaxation_time,
+)
+
+
+class TestMarkovCentrality:
+    def test_hitting_identity(self):
+        """mean_hitting_times agrees with the per-pair hitting_time of the
+        resistance module (independent code path)."""
+        graph = erdos_renyi_graph(8, 0.5, seed=0, ensure_connected=True)
+        means = mean_hitting_times(graph)
+        for node in list(graph.nodes())[:3]:
+            direct = np.mean(
+                [
+                    hitting_time(graph, s, node)
+                    for s in graph.nodes()
+                    if s != node
+                ]
+            )
+            assert means[node] == pytest.approx(direct, rel=1e-9)
+
+    def test_star_hub_fastest(self):
+        values = markov_centrality(star_graph(7))
+        assert values[0] == max(values.values())
+
+    def test_path_center_fastest(self):
+        values = markov_centrality(path_graph(7))
+        assert values[3] == max(values.values())
+
+    def test_complete_graph_closed_form(self):
+        """K_n: H(s -> t) = n - 1 for all pairs."""
+        n = 6
+        means = mean_hitting_times(complete_graph(n))
+        for value in means.values():
+            assert value == pytest.approx(n - 1)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            markov_centrality(Graph(nodes=[0]))
+        with pytest.raises(GraphError):
+            markov_centrality(Graph(edges=[(0, 1), (2, 3)]))
+
+
+class TestAlgebraicConnectivity:
+    def test_complete_graph(self):
+        """K_n has Fiedler value n."""
+        assert algebraic_connectivity(complete_graph(7)) == pytest.approx(7.0)
+
+    def test_path_closed_form(self):
+        """P_n: lambda_2 = 2(1 - cos(pi / n))."""
+        n = 8
+        expected = 2.0 * (1.0 - math.cos(math.pi / n))
+        assert algebraic_connectivity(path_graph(n)) == pytest.approx(expected)
+
+    def test_cycle_closed_form(self):
+        """C_n: lambda_2 = 2(1 - cos(2 pi / n))."""
+        n = 9
+        expected = 2.0 * (1.0 - math.cos(2.0 * math.pi / n))
+        assert algebraic_connectivity(cycle_graph(n)) == pytest.approx(expected)
+
+    def test_disconnected_zero(self):
+        assert algebraic_connectivity(Graph(edges=[(0, 1), (2, 3)])) == 0.0
+
+    def test_relaxation_time(self):
+        graph = cycle_graph(10)
+        assert relaxation_time(graph) == pytest.approx(
+            1.0 / algebraic_connectivity(graph)
+        )
+        with pytest.raises(GraphError):
+            relaxation_time(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_gap_predicts_walk_length(self):
+        """The E2 mechanism, in one assertion: among same-size graphs,
+        smaller gap -> longer l(eps)."""
+        cycle = cycle_graph(16)
+        dense = erdos_renyi_graph(16, 0.5, seed=1, ensure_connected=True)
+        assert algebraic_connectivity(cycle) < algebraic_connectivity(dense)
+        assert length_for_epsilon(cycle, 0, 0.05) > length_for_epsilon(
+            dense, 0, 0.05
+        )

@@ -1,0 +1,81 @@
+"""The protocol's modes compose: damped x split x transport policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.alpha_cfbc import alpha_current_flow_betweenness
+from repro.core.estimator import (
+    estimate_alpha_cfbc_distributed,
+    estimate_rwbc_distributed,
+)
+from repro.core.parameters import WalkParameters
+from repro.core.walk_manager import TransportPolicy
+from repro.graphs.generators import erdos_renyi_graph, grid_graph
+
+
+class TestCombinedModes:
+    def test_alpha_with_split_sampling(self):
+        """Damped walks + split debiasing together."""
+        graph = grid_graph(3, 4)
+        alpha = 0.7
+        result = estimate_alpha_cfbc_distributed(
+            graph,
+            alpha=alpha,
+            walks_per_source=120,
+            seed=31,
+            split_sampling=True,
+        )
+        exact = alpha_current_flow_betweenness(graph, alpha=alpha)
+        assert result.betweenness_debiased is not None
+        for node in graph.nodes():
+            assert result.betweenness[node] == pytest.approx(
+                exact[node], rel=0.3, abs=0.05
+            )
+            assert result.noise_floor[node] > 0
+
+    def test_batch_with_split_sampling(self):
+        graph = erdos_renyi_graph(12, 0.35, seed=32, ensure_connected=True)
+        result = estimate_rwbc_distributed(
+            graph,
+            WalkParameters(length=60, walks_per_source=20),
+            seed=32,
+            policy=TransportPolicy.BATCH,
+            split_sampling=True,
+        )
+        assert result.betweenness_debiased is not None
+        # Edge estimates also present in combined mode.
+        assert len(result.edge_betweenness) == graph.num_edges
+
+    def test_alpha_with_batch(self):
+        graph = erdos_renyi_graph(12, 0.35, seed=33, ensure_connected=True)
+        result = estimate_alpha_cfbc_distributed(
+            graph,
+            alpha=0.6,
+            walks_per_source=40,
+            seed=33,
+            policy=TransportPolicy.BATCH,
+        )
+        exact = alpha_current_flow_betweenness(graph, alpha=0.6)
+        errors = [
+            abs(result.betweenness[v] - exact[v]) / exact[v]
+            for v in graph.nodes()
+        ]
+        assert np.mean(errors) < 0.3
+
+    def test_all_three_together(self):
+        graph = grid_graph(3, 3)
+        result = estimate_alpha_cfbc_distributed(
+            graph,
+            alpha=0.5,
+            walks_per_source=60,
+            seed=34,
+            policy=TransportPolicy.BATCH,
+            split_sampling=True,
+        )
+        assert result.betweenness_debiased is not None
+        assert all(np.isfinite(v) for v in result.betweenness.values())
+        # Phases still account exactly.
+        phases = result.phase_rounds
+        assert phases["total"] == (
+            phases["setup"] + phases["counting"] + phases["exchange"]
+        )

@@ -1,0 +1,79 @@
+"""Tests for the distributed split-sampling (debiasing) protocol mode."""
+
+import numpy as np
+import pytest
+
+from repro.congest.errors import ProtocolError
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.exact import rwbc_exact
+from repro.core.parameters import WalkParameters
+from repro.core.protocol import ProtocolConfig
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def split_run():
+    graph = erdos_renyi_graph(16, 0.3, seed=16, ensure_connected=True)
+    exact = rwbc_exact(graph)
+    result = estimate_rwbc_distributed(
+        graph,
+        WalkParameters(length=60, walks_per_source=16),
+        seed=16,
+        split_sampling=True,
+    )
+    return graph, exact, result
+
+
+def mean_signed(estimate, exact):
+    return float(
+        np.mean([(estimate[v] - exact[v]) / exact[v] for v in exact])
+    )
+
+
+class TestSplitMode:
+    def test_outputs_present(self, split_run):
+        graph, _, result = split_run
+        assert result.betweenness_debiased is not None
+        assert result.noise_floor is not None
+        assert set(result.betweenness_debiased) == set(graph.nodes())
+
+    def test_floor_positive_and_consistent(self, split_run):
+        graph, _, result = split_run
+        for node in graph.nodes():
+            assert result.noise_floor[node] > 0
+            assert result.betweenness_debiased[node] == pytest.approx(
+                result.betweenness[node] - result.noise_floor[node]
+            )
+
+    def test_debiasing_reduces_signed_error(self, split_run):
+        graph, exact, result = split_run
+        plain = abs(mean_signed(result.betweenness, exact))
+        debiased = abs(mean_signed(result.betweenness_debiased, exact))
+        assert debiased < plain
+
+    def test_plain_mode_has_no_split_outputs(self):
+        graph = cycle_graph(6)
+        result = estimate_rwbc_distributed(
+            graph, WalkParameters(length=20, walks_per_source=6), seed=0
+        )
+        assert result.betweenness_debiased is None
+        assert result.noise_floor is None
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProtocolConfig(length=10, walks_per_source=5, split_sampling=True)
+
+    def test_half_counts_sum_to_counts(self, split_run):
+        graph, _, result = split_run
+        # counts is the combined vector; both halves contributed.
+        for node in graph.nodes():
+            assert np.asarray(result.counts[node]).min() >= 0
+
+    def test_message_budget_still_respected(self, split_run):
+        """The extra half-bit and second exchange integer stay within the
+        O(log n) budget."""
+        import math
+
+        graph, _, result = split_run
+        budget = max(48, 8 * math.ceil(math.log2(graph.num_nodes)))
+        assert result.metrics.max_message_bits <= budget

@@ -1,0 +1,193 @@
+"""Tests for exact absorbing-chain quantities (paper section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.absorbing import (
+    absorbing_transition_matrix,
+    absorption_probability_by_round,
+    expected_visits,
+    grounded_inverse,
+    surviving_mass,
+    transition_matrix,
+    visit_counts_truncated,
+)
+
+
+class TestTransitionMatrix:
+    def test_columns_sum_to_one(self):
+        graph = erdos_renyi_graph(12, 0.4, seed=0, ensure_connected=True)
+        m = transition_matrix(graph)
+        np.testing.assert_allclose(m.sum(axis=0), np.ones(12))
+
+    def test_entries_match_eq2(self):
+        graph = path_graph(3)
+        m = transition_matrix(graph)
+        # M[i, j] = A[i, j] / d(j).
+        assert m[1, 0] == 1.0  # from endpoint 0, always to 1
+        assert m[0, 1] == 0.5
+        assert m[2, 1] == 0.5
+
+    def test_isolated_node_rejected(self):
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            transition_matrix(graph)
+
+    def test_absorbing_removes_target(self):
+        graph = cycle_graph(5)
+        m_t = absorbing_transition_matrix(graph, 2)
+        assert m_t.shape == (4, 4)
+        # Substochastic: columns of nodes adjacent to target sum < 1.
+        sums = m_t.sum(axis=0)
+        assert np.all(sums <= 1.0 + 1e-12)
+        assert np.any(sums < 1.0)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            absorbing_transition_matrix(Graph(edges=[(0, 1), (2, 3)]), 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            expected_visits(Graph(nodes=[0]), 0)
+
+
+class TestExpectedVisits:
+    def test_target_row_and_column_zero(self):
+        graph = cycle_graph(6)
+        visits = expected_visits(graph, 3)
+        t = graph.index_of(3)
+        np.testing.assert_array_equal(visits[t, :], np.zeros(6))
+        np.testing.assert_array_equal(visits[:, t], np.zeros(6))
+
+    def test_diagonal_at_least_one(self):
+        """A walk visits its own source at least once (the r=0 term)."""
+        graph = erdos_renyi_graph(10, 0.5, seed=1, ensure_connected=True)
+        visits = expected_visits(graph, 0)
+        diagonal = np.diag(visits)[1:]  # skip the target
+        assert np.all(diagonal >= 1.0 - 1e-12)
+
+    def test_path2_by_hand(self):
+        """On 0-1 with target 1: the walk from 0 visits 0 once, then is
+        absorbed."""
+        graph = path_graph(2)
+        visits = expected_visits(graph, 1)
+        assert visits[0, 0] == pytest.approx(1.0)
+
+    def test_star_by_hand(self):
+        """Star with target = hub: every leaf walk visits its leaf once."""
+        graph = star_graph(5)
+        visits = expected_visits(graph, 0)
+        for leaf in range(1, 5):
+            assert visits[leaf, leaf] == pytest.approx(1.0)
+            # Leaf walks never visit other leaves.
+            for other in range(1, 5):
+                if other != leaf:
+                    assert visits[other, leaf] == pytest.approx(0.0)
+
+    def test_grounded_inverse_is_visits_over_degree(self):
+        graph = erdos_renyi_graph(14, 0.35, seed=2, ensure_connected=True)
+        target = 5
+        t_matrix = grounded_inverse(graph, target)
+        visits = expected_visits(graph, target)
+        degrees = graph.degree_vector()
+        np.testing.assert_allclose(
+            t_matrix, visits / degrees[:, np.newaxis], atol=1e-12
+        )
+
+    def test_grounded_inverse_symmetric(self):
+        """T is the inverse of a symmetric matrix, hence symmetric."""
+        graph = erdos_renyi_graph(10, 0.4, seed=3, ensure_connected=True)
+        t_matrix = grounded_inverse(graph, 0)
+        np.testing.assert_allclose(t_matrix, t_matrix.T, atol=1e-12)
+
+    def test_truncated_converges_to_full(self):
+        graph = cycle_graph(7)
+        full = expected_visits(graph, 0)
+        truncated = visit_counts_truncated(graph, 0, length=2000)
+        np.testing.assert_allclose(truncated, full, atol=1e-8)
+
+    def test_truncated_monotone_in_length(self):
+        graph = cycle_graph(6)
+        short = visit_counts_truncated(graph, 0, length=5)
+        long = visit_counts_truncated(graph, 0, length=10)
+        assert np.all(long >= short - 1e-12)
+
+    def test_truncated_zero_length(self):
+        """l = 0 leaves only the r = 0 identity term."""
+        graph = path_graph(4)
+        counts = visit_counts_truncated(graph, 3, length=0)
+        expected = np.diag([1.0, 1.0, 1.0, 0.0])
+        np.testing.assert_allclose(counts, expected)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(GraphError):
+            visit_counts_truncated(path_graph(3), 0, length=-1)
+
+
+class TestSurvival:
+    def test_initial_mass(self):
+        graph = cycle_graph(5)
+        mass = surviving_mass(graph, 2, rounds=0)
+        t = graph.index_of(2)
+        assert mass[0, t] == 0.0
+        assert np.all(np.delete(mass[0], t) == 1.0)
+
+    def test_mass_decreases(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=4, ensure_connected=True)
+        mass = surviving_mass(graph, 0, rounds=60).max(axis=1)
+        assert np.all(np.diff(mass) <= 1e-12)
+        assert mass[-1] < 0.2
+
+    def test_lemma1_after_diameter_rounds(self):
+        """Lemma 1: after D rounds, all survival probabilities < 1."""
+        from repro.graphs.properties import diameter
+
+        for seed in range(3):
+            graph = erdos_renyi_graph(
+                12, 0.3, seed=seed, ensure_connected=True
+            )
+            d = diameter(graph)
+            mass = surviving_mass(graph, 0, rounds=d)
+            assert np.all(mass[d] < 1.0)
+
+    def test_absorption_complements_survival(self):
+        graph = path_graph(5)
+        mass = surviving_mass(graph, 4, rounds=20)
+        absorbed = absorption_probability_by_round(graph, 4, rounds=20)
+        np.testing.assert_allclose(mass + absorbed, np.ones_like(mass))
+
+    def test_complete_graph_geometric(self):
+        """On K_n, survival decays exactly like (1 - 1/(n-1))^r."""
+        n = 6
+        graph = complete_graph(n)
+        rounds = 10
+        mass = surviving_mass(graph, 0, rounds=rounds)
+        rate = 1.0 - 1.0 / (n - 1)
+        for r in range(rounds + 1):
+            expected = rate**r
+            assert mass[r, 1] == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 14), seed=st.integers(0, 300))
+def test_fundamental_matrix_identity(n, seed):
+    """(I - M_t) @ visits == I on the non-target block."""
+    graph = erdos_renyi_graph(n, 0.5, seed=seed, ensure_connected=True)
+    target = seed % n
+    m_t = absorbing_transition_matrix(graph, target)
+    visits = expected_visits(graph, target)
+    keep = np.arange(n) != graph.index_of(target)
+    block = visits[np.ix_(keep, keep)]
+    np.testing.assert_allclose(
+        (np.eye(n - 1) - m_t) @ block, np.eye(n - 1), atol=1e-9
+    )

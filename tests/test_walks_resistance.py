@@ -1,0 +1,180 @@
+"""Tests for effective resistance / commute times - the electrical layer
+that independently validates the matrix machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.walks.resistance import (
+    commute_time,
+    commute_time_via_resistance,
+    effective_resistance,
+    foster_total,
+    hitting_time,
+    laplacian_pseudoinverse,
+    resistance_matrix,
+    spanning_tree_edge_probability,
+)
+
+
+class TestPseudoinverse:
+    def test_moore_penrose_conditions(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=0, ensure_connected=True)
+        laplacian = graph.laplacian_matrix()
+        plus = laplacian_pseudoinverse(graph)
+        np.testing.assert_allclose(
+            laplacian @ plus @ laplacian, laplacian, atol=1e-9
+        )
+        np.testing.assert_allclose(plus @ laplacian @ plus, plus, atol=1e-9)
+        np.testing.assert_allclose(plus, plus.T, atol=1e-10)
+
+    def test_nullspace(self):
+        graph = cycle_graph(6)
+        plus = laplacian_pseudoinverse(graph)
+        np.testing.assert_allclose(plus @ np.ones(6), np.zeros(6), atol=1e-10)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            laplacian_pseudoinverse(Graph(edges=[(0, 1), (2, 3)]))
+
+
+class TestEffectiveResistance:
+    def test_path_is_hop_distance(self):
+        """Series resistors add: R(0, k) = k on a path."""
+        graph = path_graph(5)
+        for k in range(1, 5):
+            assert effective_resistance(graph, 0, k) == pytest.approx(k)
+
+    def test_complete_graph_closed_form(self):
+        """K_n: R(u, v) = 2/n for any pair."""
+        n = 7
+        graph = complete_graph(n)
+        assert effective_resistance(graph, 0, 3) == pytest.approx(2.0 / n)
+
+    def test_cycle_parallel_resistors(self):
+        """C_n between antipodes: two arcs of n/2 in parallel."""
+        n = 8
+        graph = cycle_graph(n)
+        expected = (n / 2) * (n / 2) / n  # (R1*R2)/(R1+R2) with R1=R2=n/2
+        assert effective_resistance(graph, 0, 4) == pytest.approx(expected)
+
+    def test_self_resistance_zero(self):
+        assert effective_resistance(cycle_graph(5), 2, 2) == 0.0
+
+    def test_metric_triangle_inequality(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=1, ensure_connected=True)
+        matrix = resistance_matrix(graph)
+        for u in range(10):
+            for v in range(10):
+                for w in range(10):
+                    assert (
+                        matrix[u, v] <= matrix[u, w] + matrix[w, v] + 1e-9
+                    )
+
+    def test_bounded_by_shortest_path(self):
+        """Resistance never exceeds hop distance (Rayleigh)."""
+        from repro.graphs.properties import bfs_distances
+
+        graph = erdos_renyi_graph(12, 0.3, seed=2, ensure_connected=True)
+        matrix = resistance_matrix(graph)
+        for source in graph.nodes():
+            distances = bfs_distances(graph, source)
+            for v, hops in distances.items():
+                assert (
+                    matrix[graph.index_of(source), graph.index_of(v)]
+                    <= hops + 1e-9
+                )
+
+
+class TestHittingAndCommute:
+    def test_path2_hand_values(self):
+        graph = path_graph(2)
+        assert hitting_time(graph, 0, 1) == pytest.approx(1.0)
+        assert commute_time(graph, 0, 1) == pytest.approx(2.0)
+
+    def test_hitting_asymmetric(self):
+        """On a lollipop, escaping the clique takes longer than entering."""
+        from repro.graphs.generators import lollipop_graph
+
+        graph = lollipop_graph(5, 3)
+        tip = 7
+        clique_node = 0
+        assert hitting_time(graph, clique_node, tip) > hitting_time(
+            graph, tip, clique_node
+        )
+
+    def test_complete_graph_hitting(self):
+        """K_n: expected hitting time is n - 1."""
+        n = 6
+        graph = complete_graph(n)
+        assert hitting_time(graph, 0, 1) == pytest.approx(n - 1)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(6),
+            cycle_graph(7),
+            star_graph(6),
+            random_tree(9, seed=3),
+            erdos_renyi_graph(10, 0.45, seed=4, ensure_connected=True),
+        ],
+        ids=["path", "cycle", "star", "tree", "er"],
+    )
+    def test_commute_identity(self, graph):
+        """Chandra et al.: commute = 2 m R_eff - ties the absorbing-chain
+        machinery to the Laplacian pseudoinverse, two independent code
+        paths."""
+        nodes = list(graph.canonical_order())
+        for u, v in [(nodes[0], nodes[-1]), (nodes[1], nodes[2])]:
+            if u == v:
+                continue
+            assert commute_time(graph, u, v) == pytest.approx(
+                commute_time_via_resistance(graph, u, v), rel=1e-9
+            )
+
+
+class TestFosterAndSpanningTrees:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_foster_theorem(self, seed):
+        graph = erdos_renyi_graph(12, 0.35, seed=seed, ensure_connected=True)
+        assert foster_total(graph) == pytest.approx(graph.num_nodes - 1)
+
+    def test_tree_edges_are_bridges(self):
+        """Every tree edge has spanning-tree probability exactly 1."""
+        graph = random_tree(10, seed=5)
+        for u, v in graph.edges():
+            assert spanning_tree_edge_probability(graph, u, v) == pytest.approx(
+                1.0
+            )
+
+    def test_non_edge_rejected(self):
+        with pytest.raises(GraphError):
+            spanning_tree_edge_probability(path_graph(4), 0, 3)
+
+    def test_complete_graph_probability(self):
+        """K_n edges all have probability 2/n (Cayley counts agree)."""
+        n = 6
+        graph = complete_graph(n)
+        assert spanning_tree_edge_probability(graph, 1, 4) == pytest.approx(
+            2.0 / n
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 12), seed=st.integers(0, 200))
+def test_resistance_matrix_properties(n, seed):
+    graph = erdos_renyi_graph(n, 0.5, seed=seed, ensure_connected=True)
+    matrix = resistance_matrix(graph)
+    np.testing.assert_allclose(matrix, matrix.T, atol=1e-9)
+    np.testing.assert_allclose(np.diag(matrix), np.zeros(n), atol=1e-9)
+    assert np.all(matrix >= -1e-9)

@@ -1,0 +1,105 @@
+"""Tests for the Theorem 1 spectral machinery."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+)
+from repro.graphs.graph import GraphError
+from repro.walks.spectral import (
+    decay_rate,
+    length_for_epsilon,
+    spectral_radius_absorbing,
+    theorem1_summary,
+)
+
+
+class TestSpectralRadius:
+    def test_strictly_below_one(self):
+        for seed in range(4):
+            graph = erdos_renyi_graph(
+                12, 0.3, seed=seed, ensure_connected=True
+            )
+            radius = spectral_radius_absorbing(graph, seed % 12)
+            assert 0.0 < radius < 1.0
+
+    def test_complete_graph_value(self):
+        """On K_n with one absorbing node, M_t has radius 1 - 1/(n-1)."""
+        n = 7
+        radius = spectral_radius_absorbing(complete_graph(n), 0)
+        assert radius == pytest.approx(1.0 - 1.0 / (n - 1))
+
+    def test_path_slower_than_complete(self):
+        """High-diameter graphs absorb more slowly (larger radius)."""
+        n = 10
+        assert spectral_radius_absorbing(
+            path_graph(n), 0
+        ) > spectral_radius_absorbing(complete_graph(n), 0)
+
+
+class TestDecayRate:
+    def test_matches_spectral_radius(self):
+        """The empirical decay rate approaches the spectral radius."""
+        graph = cycle_graph(9)
+        rate = decay_rate(graph, 0, horizon=400)
+        radius = spectral_radius_absorbing(graph, 0)
+        assert rate == pytest.approx(radius, abs=0.02)
+
+    def test_in_unit_interval(self):
+        graph = erdos_renyi_graph(10, 0.5, seed=1, ensure_connected=True)
+        assert 0.0 <= decay_rate(graph, 0) < 1.0
+
+
+class TestLengthForEpsilon:
+    def test_monotone_in_epsilon(self):
+        graph = cycle_graph(10)
+        l_coarse = length_for_epsilon(graph, 0, 0.1)
+        l_fine = length_for_epsilon(graph, 0, 0.001)
+        assert l_fine > l_coarse
+
+    def test_achieves_epsilon(self):
+        from repro.walks.absorbing import surviving_mass
+
+        graph = erdos_renyi_graph(12, 0.35, seed=2, ensure_connected=True)
+        epsilon = 0.05
+        length = length_for_epsilon(graph, 0, epsilon)
+        mass = surviving_mass(graph, 0, rounds=length)
+        assert mass[length].max() <= epsilon
+        if length > 0:
+            assert mass[length - 1].max() > epsilon
+
+    def test_complete_graph_closed_form(self):
+        """On K_n survival is (1-1/(n-1))^l: solve for l exactly."""
+        n, epsilon = 8, 0.01
+        length = length_for_epsilon(complete_graph(n), 0, epsilon)
+        rate = 1.0 - 1.0 / (n - 1)
+        expected = int(np.ceil(np.log(epsilon) / np.log(rate)))
+        assert length == expected
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(GraphError):
+            length_for_epsilon(cycle_graph(5), 0, 0.0)
+        with pytest.raises(GraphError):
+            length_for_epsilon(cycle_graph(5), 0, 1.0)
+
+    def test_theorem1_linear_scaling(self):
+        """l(eps) grows roughly linearly in n on cycles (Theorem 1's O(n)
+        with the cycle's Theta(n^2) mixing... actually quadratic: cycles
+        are the slow case).  We check it is finite and monotone in n."""
+        lengths = [
+            length_for_epsilon(cycle_graph(n), 0, 0.1) for n in (6, 10, 14)
+        ]
+        assert lengths == sorted(lengths)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        graph = cycle_graph(8)
+        summary = theorem1_summary(graph, 0, epsilons=(0.1, 0.01))
+        assert summary["n"] == 8.0
+        assert 0 < summary["spectral_radius"] < 1
+        assert summary["l(eps=0.1)"] < summary["l(eps=0.01)"]

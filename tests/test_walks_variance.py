@@ -1,0 +1,110 @@
+"""Tests for the visit-count variance identities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.graph import GraphError
+from repro.walks.simulate import simulate_walk_counts
+from repro.walks.variance import (
+    relative_visit_dispersion,
+    visit_count_variance,
+    walks_needed_for_dispersion,
+)
+
+
+class TestVarianceIdentity:
+    def test_path2_deterministic(self):
+        """On 0-1 with target 1, the walk visits 0 exactly once: Var = 0."""
+        variance = visit_count_variance(path_graph(2), 1)
+        assert variance[0, 0] == pytest.approx(0.0)
+
+    def test_complete_graph_geometric(self):
+        """On K_n with absorption, returns to the start are geometric:
+        visits ~ Geometric(p_absorbed-before-return); closed-form check
+        against the identity on n = 3 (visits to own source)."""
+        graph = complete_graph(3)
+        variance = visit_count_variance(graph, 0)
+        # Walk from 1 (target 0): N_11 = expected visits to 1.
+        from repro.walks.absorbing import expected_visits
+
+        visits = expected_visits(graph, 0)
+        n11 = visits[1, 1]
+        expected = n11 * (2 * n11 - 1) - n11**2
+        assert variance[1, 1] == pytest.approx(expected)
+        # Geometric distribution: Var = (1 - p) / p^2 with mean 1/p.
+        p = 1.0 / n11
+        assert variance[1, 1] == pytest.approx((1 - p) / p**2)
+
+    @pytest.mark.parametrize(
+        "graph,target",
+        [
+            (path_graph(4), 3),
+            (complete_graph(5), 0),
+            (erdos_renyi_graph(8, 0.5, seed=1, ensure_connected=True), 2),
+        ],
+        ids=["path", "complete", "er"],
+    )
+    def test_matches_simulation(self, graph, target):
+        """The closed form agrees with empirical per-walk variance."""
+        k = 30_000
+        result = simulate_walk_counts(
+            graph, target, length=600, walks_per_source=k, seed=0
+        )
+        predicted = visit_count_variance(graph, target)
+        # Empirical variance needs per-walk samples; reconstruct via the
+        # batch: simulate in B batches of k/B and use batch means...
+        # Simpler: E[X^2] = Var + mean^2 checked via many small batches.
+        batches = 200
+        per_batch = 150
+        samples = np.zeros((batches, graph.num_nodes, graph.num_nodes))
+        for b in range(batches):
+            batch = simulate_walk_counts(
+                graph, target, length=600, walks_per_source=per_batch,
+                seed=1000 + b,
+            )
+            samples[b] = batch.counts / per_batch
+        # Var of the batch mean = Var_single / per_batch.
+        empirical_single = samples.var(axis=0, ddof=1) * per_batch
+        mask = predicted > 0.05
+        ratio = empirical_single[mask] / predicted[mask]
+        assert np.all(ratio > 0.6)
+        assert np.all(ratio < 1.5)
+
+    def test_nonnegative(self):
+        graph = erdos_renyi_graph(10, 0.4, seed=2, ensure_connected=True)
+        assert np.all(visit_count_variance(graph, 0) >= 0)
+
+
+class TestDispersion:
+    def test_heavy_tail_ordering(self):
+        """Trees/barbells disperse far more than expanders - the E4/E10
+        heavy-tail finding, predicted from the matrix."""
+        expander = erdos_renyi_graph(16, 0.5, seed=3, ensure_connected=True)
+        tree = random_tree(16, seed=3)
+        barbell = barbell_graph(6, 4)
+        d_exp = relative_visit_dispersion(expander, 0)
+        d_tree = relative_visit_dispersion(tree, 0)
+        d_bar = relative_visit_dispersion(barbell, 0)
+        assert d_tree > 1.5 * d_exp
+        assert d_bar > 3 * d_exp
+
+    def test_walks_needed_scales_with_dispersion(self):
+        expander = erdos_renyi_graph(16, 0.5, seed=4, ensure_connected=True)
+        barbell = barbell_graph(6, 4)
+        assert walks_needed_for_dispersion(
+            barbell, 0
+        ) > walks_needed_for_dispersion(expander, 0)
+
+    def test_parameter_validation(self):
+        graph = path_graph(4)
+        with pytest.raises(GraphError):
+            walks_needed_for_dispersion(graph, 0, delta=0.0)
+        with pytest.raises(GraphError):
+            walks_needed_for_dispersion(graph, 0, failure=1.0)

@@ -57,7 +57,7 @@ def test_alpha_distributed(once):
     graph, rows, rwbc = once(collect)
     print(render_records("E13 / distributed alpha-CFBC", rows))
     print(
-        f"absorbing RWBC on the same graph: "
+        "absorbing RWBC on the same graph: "
         f"{rwbc.phase_rounds['counting']} counting rounds"
     )
 

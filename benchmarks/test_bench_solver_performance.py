@@ -7,8 +7,6 @@ magnitude and scale past it.  These are genuine timing benchmarks
 (pytest-benchmark statistics are meaningful here).
 """
 
-import pytest
-
 from repro.core.exact import rwbc_exact, rwbc_exact_pairs
 from repro.core.montecarlo import estimate_rwbc_montecarlo
 from repro.core.parameters import WalkParameters

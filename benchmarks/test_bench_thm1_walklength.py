@@ -9,17 +9,11 @@ documented slow case: cycles need ~n^2 (the spectral gap is Theta(1/n^2);
 Theorem 1's O(n) constant hides spectral-gap dependence).
 """
 
-import numpy as np
-
 from repro.analysis.fitting import fit_power_law
 from repro.experiments.report import render_records
 from repro.experiments.workloads import make_workload
 from repro.graphs.generators import cycle_graph
-from repro.walks.spectral import (
-    length_for_epsilon,
-    spectral_radius_absorbing,
-    theorem1_summary,
-)
+from repro.walks.spectral import length_for_epsilon, theorem1_summary
 
 EPSILON = 0.05
 

@@ -6,8 +6,6 @@ the walk mass, so the estimate has relative error ~ epsilon.  We sweep
 tracks the measured surviving mass, vanishing as l grows.
 """
 
-import numpy as np
-
 from repro.analysis.error import compare_centrality
 from repro.core.exact import rwbc_exact
 from repro.core.montecarlo import betweenness_from_counts

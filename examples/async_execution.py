@@ -52,7 +52,7 @@ def main() -> None:
         f"\n  payload messages: {metrics.payload_messages}"
         f"\n  synchronizer control messages: {metrics.control_messages} "
         f"({metrics.control_messages / metrics.payload_messages:.1f}x "
-        f"overhead)"
+        "overhead)"
     )
 
 

@@ -39,13 +39,13 @@ def analyze_karate() -> None:
     top2 = set(sorted(exact, key=lambda v: -exact[v])[:2])
     print(
         f"  -> the two club leaders {sorted(top2)} top the RWBC ranking "
-        f"(the split followed them in 1977)"
+        "(the split followed them in 1977)"
     )
     est_top2 = set(
         sorted(result.betweenness, key=lambda v: -result.betweenness[v])[:2]
     )
     print(
-        f"  -> distributed estimate found the same leaders: "
+        "  -> distributed estimate found the same leaders: "
         f"{est_top2 == top2} ({result.total_rounds} rounds, "
         f"{result.metrics.total_messages} messages)"
     )

@@ -10,8 +10,6 @@ another internal consistency check.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.graphs.graph import Graph, GraphError, NodeId
 from repro.graphs.properties import is_connected
 from repro.walks.absorbing import expected_visits

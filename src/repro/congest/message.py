@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.congest.errors import ProtocolError
 
 TAG_BITS = 8
@@ -27,6 +29,19 @@ TAG_BITS = 8
 def int_bits(value: int) -> int:
     """Bit cost of one integer field (magnitude bits plus a sign bit)."""
     return max(1, abs(value).bit_length()) + 1
+
+
+def int_bits_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`int_bits` over an integer array.
+
+    ``np.frexp`` returns the binary exponent of each magnitude, which for
+    positive integers below 2**53 equals ``int.bit_length`` exactly (the
+    float64 mantissa is wide enough); zero maps to exponent 0 and is then
+    floored to 1 magnitude bit, matching the scalar formula.
+    """
+    magnitudes = np.abs(np.asarray(values)).astype(np.float64)
+    _, exponents = np.frexp(magnitudes)
+    return np.maximum(1, exponents).astype(np.int64) + 1
 
 
 def payload_bits(fields: tuple[int, ...]) -> int:

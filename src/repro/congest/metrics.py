@@ -55,6 +55,29 @@ class RunMetrics:
         self.messages_per_round.append(len(messages))
         self.bits_per_round.append(round_bits)
 
+    def record_round_aggregate(self, traffic) -> None:
+        """Fold one fast-path round into the totals.
+
+        ``traffic`` is a :class:`~repro.congest.transport.RoundTraffic`
+        with the round's merged (bulk + control) numbers; the resulting
+        counters are identical to what :meth:`record_round` computes from
+        the materialized messages of the equivalent slow-path round.
+        """
+        self.rounds += 1
+        self.total_messages += traffic.total_messages
+        self.total_bits += traffic.total_bits
+        self.max_messages_per_edge_round = max(
+            self.max_messages_per_edge_round, traffic.max_edge_messages
+        )
+        self.max_bits_per_edge_round = max(
+            self.max_bits_per_edge_round, traffic.max_edge_bits
+        )
+        self.max_message_bits = max(
+            self.max_message_bits, traffic.max_message_bits
+        )
+        self.messages_per_round.append(traffic.total_messages)
+        self.bits_per_round.append(traffic.total_bits)
+
     def mark_phase(self, name: str) -> None:
         """Attribute all rounds since the previous mark to phase ``name``."""
         already = sum(self.phase_rounds.values())

@@ -21,7 +21,7 @@ from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.congest.transport import RoundOutbox
+    from repro.congest.transport import BulkInbox, BulkOutbox, RoundOutbox
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,103 @@ class RoundContext:
             self.send(neighbor, kind, *fields)
 
 
+class SharedFastPathState:
+    """Per-run coordination space for cooperating fast-path programs.
+
+    The scheduler creates one instance per vectorized run and exposes it
+    as ``ctx.shared`` on every :class:`BulkRoundContext`.  Programs that
+    want to batch work *across* nodes store a common engine object in
+    :attr:`slots` and register it as a *driver*:
+
+    * a driver may declare ``claimed_kinds`` (a set of message-kind
+      tags); the scheduler diverts in-flight bulk traffic of those kinds
+      away from per-node inboxes and hands it to the driver whole - one
+      set of arrays for the entire network per round;
+    * after all per-node calls of a round, the scheduler invokes
+      ``driver.end_round(round_number, claimed, outbox, bulk_outbox)``
+      exactly once, where ``claimed`` maps each claimed kind to its
+      ``(senders, receivers, fields, multiplicity)`` arrays.
+
+    This is purely a performance transformation: a driver must produce
+    byte-identical traffic and randomness to its per-node counterpart
+    (the walk engine's equivalence is pinned by tests).
+    """
+
+    def __init__(self) -> None:
+        self.slots: dict[str, object] = {}
+        self.drivers: list[object] = []
+
+    def register_driver(self, driver: object) -> None:
+        """Register a cross-node driver; drivers run in registration
+        order after each round's per-node calls."""
+        self.drivers.append(driver)
+
+
+class BulkRoundContext(RoundContext):
+    """Round context of the scheduler's vectorized fast path.
+
+    Adds :meth:`send_bulk` on top of the ordinary per-message ``send``:
+    a program can ship one *array* of counted, same-kind messages to many
+    neighbors at once, and the transport accounts for them in aggregate
+    (same message counts and bit charges, no per-message Python
+    objects).  The ``bulk`` attribute is the capability marker helpers
+    test for (``getattr(ctx, "bulk", None)``), so shared program logic
+    runs unchanged on both paths.  ``shared`` is the run-wide
+    :class:`SharedFastPathState` cooperating programs coordinate
+    through.
+    """
+
+    __slots__ = ("bulk", "shared", "_neighbor_array")
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: tuple[int, ...],
+        outbox: "RoundOutbox",
+        round_number: int,
+        bulk_outbox: "BulkOutbox",
+        neighbor_array: np.ndarray,
+        shared: SharedFastPathState | None = None,
+    ) -> None:
+        super().__init__(node_id, neighbors, outbox, round_number)
+        self.bulk = bulk_outbox
+        self.shared = shared
+        self._neighbor_array = neighbor_array  # sorted, for validation
+
+    def send_bulk(
+        self,
+        kind: str,
+        receivers: np.ndarray,
+        fields: np.ndarray,
+        multiplicity: np.ndarray | None = None,
+    ) -> None:
+        """Queue ``len(receivers)`` aggregate messages for next round.
+
+        ``fields`` is an ``(len(receivers), f)`` integer matrix - row
+        ``i`` is the payload of the message(s) to ``receivers[i]``.
+        ``multiplicity[i]`` identical copies are charged (default 1
+        each); this is how per-token walk traffic under the QUEUE policy
+        keeps its exact per-edge message count without materializing the
+        tokens.
+        """
+        if len(receivers) == 0:
+            return
+        positions = np.searchsorted(self._neighbor_array, receivers)
+        valid = (positions < len(self._neighbor_array)) & (
+            self._neighbor_array[
+                np.minimum(positions, len(self._neighbor_array) - 1)
+            ]
+            == receivers
+        )
+        if not valid.all():
+            bad = receivers[~valid][0]
+            raise ProtocolError(
+                f"node {self._node_id} tried to bulk-send to non-neighbor "
+                f"{int(bad)}"
+            )
+        self.bulk.push(self._node_id, kind, receivers, fields, multiplicity)
+
+
 class NodeProgram(abc.ABC):
     """Base class for per-node distributed programs.
 
@@ -151,3 +248,43 @@ class NodeProgram(abc.ABC):
     @property
     def halted(self) -> bool:
         return self._halted
+
+
+class VectorizedProgram(NodeProgram):
+    """Opt-in capability: a program the scheduler may run in aggregate.
+
+    When *every* program of a simulation subclasses this (and nothing
+    forces per-message fidelity - no ``record_messages``, no tracer, no
+    drop injection), the scheduler switches to its fast path: each round
+    it calls :meth:`on_bulk_round` with the ordinary control-message
+    inbox plus a :class:`~repro.congest.transport.BulkInbox` of
+    aggregated array traffic, and the context supports
+    :meth:`BulkRoundContext.send_bulk`.  Semantics, round counts, and
+    bandwidth accounting are identical to per-message dispatch - the
+    equivalence is tested, not assumed (``tests/test_walks_batched.py``).
+
+    Contract:
+
+    * :meth:`on_round` must still implement the per-message behavior
+      (the slow path, the async executor, and replay all use it);
+    * :meth:`on_bulk_round` must consume randomness identically to
+      :meth:`on_round` for the same multiset of arrivals;
+    * :attr:`bulk_idle` may return True only when a round with an empty
+      inbox would be a no-op (no pending sends, no timer-driven state
+      change) - the scheduler then skips the call entirely.
+    """
+
+    @abc.abstractmethod
+    def on_bulk_round(
+        self,
+        ctx: "BulkRoundContext",
+        inbox: list[Message],
+        bulk: "BulkInbox | None",
+    ) -> None:
+        """Fast-path round: control messages in ``inbox``, aggregate
+        traffic in ``bulk`` (None when nothing bulk arrived)."""
+
+    @property
+    def bulk_idle(self) -> bool:
+        """True when an empty round would not change this node's state."""
+        return False

@@ -22,9 +22,16 @@ import numpy as np
 from repro.congest.errors import ConfigError, RoundLimitExceeded
 from repro.congest.message import Message
 from repro.congest.metrics import RunMetrics
-from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.node import (
+    BulkRoundContext,
+    NodeInfo,
+    NodeProgram,
+    RoundContext,
+    SharedFastPathState,
+    VectorizedProgram,
+)
 from repro.congest.trace import NullTracer, Tracer
-from repro.congest.transport import BandwidthPolicy, RoundOutbox
+from repro.congest.transport import BandwidthPolicy, BulkOutbox, RoundOutbox
 from repro.graphs.graph import Graph
 from repro.graphs.properties import is_connected
 
@@ -39,6 +46,9 @@ class SimulationResult:
     metrics: RunMetrics
     tracer: Tracer | NullTracer
     message_log: list[list[Message]] = field(default_factory=list)
+    # True when the run used the vectorized fast path (aggregate per-edge
+    # exchange instead of per-message dispatch).
+    fast_path: bool = False
 
     def program(self, node_id: int) -> NodeProgram:
         return self.programs[node_id]
@@ -79,6 +89,16 @@ class Simulator:
         (e.g. lost walk tokens stall the termination detector, which
         surfaces as :class:`RoundLimitExceeded` rather than a silently
         wrong answer).
+    vectorized:
+        Fast-path selection.  ``None`` (default) auto-selects: the
+        vectorized loop runs when every program is a
+        :class:`VectorizedProgram` and nothing demands per-message
+        fidelity (``record_messages``, a tracer, or ``drop_rate`` all
+        force the per-message loop).  ``False`` always runs the
+        per-message loop; ``True`` requires the fast path and raises
+        :class:`ConfigError` when it is unavailable.  Both loops produce
+        identical results for the same seed (tested equivalence, see
+        ``tests/test_walks_batched.py``).
     """
 
     def __init__(
@@ -92,6 +112,7 @@ class Simulator:
         tracer: Tracer | None = None,
         require_connected: bool = True,
         drop_rate: float = 0.0,
+        vectorized: bool | None = None,
     ) -> None:
         if graph.num_nodes == 0:
             raise ConfigError("cannot simulate the empty graph")
@@ -116,6 +137,7 @@ class Simulator:
         self.tracer = tracer if tracer is not None else NullTracer()
         self._seed = seed
         self._factory = program_factory
+        self.vectorized = vectorized
 
     def _build_programs(self) -> dict[int, NodeProgram]:
         master = np.random.default_rng(self._seed)
@@ -133,6 +155,21 @@ class Simulator:
             programs[node] = self._factory(info, rng)
         return programs
 
+    def _bulk_reasons_against(self, programs: dict[int, NodeProgram]):
+        """Why the fast path cannot run (empty list = eligible)."""
+        reasons = []
+        if not all(
+            isinstance(p, VectorizedProgram) for p in programs.values()
+        ):
+            reasons.append("not every program is a VectorizedProgram")
+        if self.record_messages:
+            reasons.append("record_messages needs materialized messages")
+        if not isinstance(self.tracer, NullTracer):
+            reasons.append("a tracer observes individual deliveries")
+        if self.drop_rate > 0:
+            reasons.append("drop_rate injects per-message failures")
+        return reasons
+
     def run(self) -> SimulationResult:
         """Execute rounds until global termination.
 
@@ -148,6 +185,15 @@ class Simulator:
             If termination is not reached within ``max_rounds``.
         """
         programs = self._build_programs()
+        if self.vectorized is not False:
+            reasons = self._bulk_reasons_against(programs)
+            if not reasons:
+                return self._run_bulk(programs)
+            if self.vectorized is True:
+                raise ConfigError(
+                    "vectorized=True but the fast path is unavailable: "
+                    + "; ".join(reasons)
+                )
         metrics = RunMetrics()
         message_log: list[list[Message]] = []
         outbox = RoundOutbox(self.policy)
@@ -218,6 +264,131 @@ class Simulator:
             metrics=metrics,
             tracer=self.tracer,
             message_log=message_log,
+        )
+
+    def _run_bulk(
+        self, programs: dict[int, NodeProgram]
+    ) -> SimulationResult:
+        """The vectorized fast path.
+
+        Identical round structure to :meth:`run`, but heavy traffic
+        moves as aggregate per-edge counts (:class:`BulkOutbox`) and
+        idle nodes are skipped outright (safe by the
+        :class:`VectorizedProgram` ``bulk_idle`` contract).  Control
+        messages still travel as ordinary :class:`Message` objects, so
+        phases that need per-message semantics (leader election, the
+        termination convergecast) are untouched.  Cooperating programs
+        may additionally register cross-node *drivers* through
+        ``ctx.shared`` (see :class:`SharedFastPathState`): a driver
+        claims whole message kinds and processes them network-wide once
+        per round instead of node by node.  Bandwidth limits are
+        enforced on the merged control + bulk load of every edge, and
+        :class:`RunMetrics` receives exactly the numbers the per-message
+        loop would have recorded.
+        """
+        n = self.graph.num_nodes
+        metrics = RunMetrics()
+        outbox = RoundOutbox(self.policy)
+        bulk_outbox = BulkOutbox(self.policy)
+        order = self.graph.canonical_order()
+        shared = SharedFastPathState()
+        # One context per node, reused across rounds (only the round
+        # number changes); constructing ~n of these per round would be
+        # measurable overhead at scale.
+        contexts = {
+            node: BulkRoundContext(
+                node,
+                programs[node].neighbors,
+                outbox,
+                0,
+                bulk_outbox,
+                np.array(programs[node].neighbors, dtype=np.int64),
+                shared,
+            )
+            for node in order
+        }
+        claimed_kinds: dict[str, object] = {}  # kind -> claiming driver
+        known_drivers = 0
+
+        def refresh_claims() -> None:
+            nonlocal known_drivers
+            for driver in shared.drivers[known_drivers:]:
+                for kind in getattr(driver, "claimed_kinds", ()):
+                    if kind in claimed_kinds:
+                        raise ConfigError(
+                            "two fast-path drivers claim message kind "
+                            f"{kind!r}"
+                        )
+                    claimed_kinds[kind] = driver
+            known_drivers = len(shared.drivers)
+
+        # Round 0: on_start, no deliveries.
+        for node in order:
+            programs[node].on_start(contexts[node])
+        refresh_claims()
+        in_flight = outbox.drain()
+        bulk_in_flight = bulk_outbox.drain(n, in_flight)
+
+        round_number = 0
+        while True:
+            all_halted = all(p.halted for p in programs.values())
+            if all_halted and not in_flight and not bulk_in_flight:
+                break
+            round_number += 1
+            if round_number > self.max_rounds:
+                raise RoundLimitExceeded(
+                    f"no termination after {self.max_rounds} rounds "
+                    f"({sum(p.halted for p in programs.values())}/"
+                    f"{len(programs)} nodes halted, "
+                    f"{len(in_flight) + bulk_in_flight.total_messages} "
+                    "messages in flight)"
+                )
+            metrics.record_round_aggregate(bulk_in_flight.traffic)
+            # Divert driver-claimed kinds before the per-receiver split;
+            # the claiming driver gets them whole at end of round.
+            claimed_traffic: dict[int, dict[str, tuple]] = {}
+            if claimed_kinds and bulk_in_flight:
+                for kind, driver in claimed_kinds.items():
+                    data = bulk_in_flight.take(kind)
+                    if data is not None:
+                        claimed_traffic.setdefault(id(driver), {})[
+                            kind
+                        ] = data
+            inboxes: dict[int, list[Message]] = {}
+            for message in in_flight:
+                inboxes.setdefault(message.receiver, []).append(message)
+            bulk_inboxes = bulk_in_flight.group_by_receiver()
+            for node in order:
+                program = programs[node]
+                inbox = inboxes.get(node)
+                bulk = bulk_inboxes.get(node)
+                has_mail = inbox is not None or bulk is not None
+                if program.halted:
+                    if not has_mail:
+                        continue
+                    program.unhalt()
+                elif not has_mail and program.bulk_idle:
+                    continue
+                ctx = contexts[node]
+                ctx.round_number = round_number
+                program.on_bulk_round(ctx, inbox or [], bulk)
+            if known_drivers != len(shared.drivers):
+                refresh_claims()
+            for driver in shared.drivers:
+                driver.end_round(
+                    round_number,
+                    claimed_traffic.get(id(driver), {}),
+                    outbox,
+                    bulk_outbox,
+                )
+            in_flight = outbox.drain()
+            bulk_in_flight = bulk_outbox.drain(n, in_flight)
+
+        return SimulationResult(
+            programs=programs,
+            metrics=metrics,
+            tracer=self.tracer,
+            fast_path=True,
         )
 
 

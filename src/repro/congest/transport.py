@@ -15,10 +15,12 @@ rather than silently dropping traffic.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.congest.errors import CongestViolation, ConfigError
-from repro.congest.message import Message
+from repro.congest.message import TAG_BITS, Message, int_bits_array
 
 
 @dataclass(frozen=True)
@@ -100,3 +102,266 @@ class RoundOutbox:
 
     def __len__(self) -> int:
         return len(self._messages)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate (fast-path) transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BulkKindInbox:
+    """One node's aggregated arrivals of one message kind this round."""
+
+    senders: np.ndarray
+    fields: np.ndarray  # (groups, field_count) integer matrix
+    multiplicity: np.ndarray  # identical copies per row
+
+
+#: Per-node fast-path inbox: kind -> aggregated arrivals.
+BulkInbox = dict[str, BulkKindInbox]
+
+
+@dataclass(frozen=True)
+class RoundTraffic:
+    """One round's merged accounting (bulk + control), for RunMetrics."""
+
+    total_messages: int = 0
+    total_bits: int = 0
+    max_edge_messages: int = 0
+    max_edge_bits: int = 0
+    max_message_bits: int = 0
+
+
+@dataclass
+class _KindBatch:
+    """Accumulated same-kind records of one round (pre-concatenation)."""
+
+    senders: list[np.ndarray] = field(default_factory=list)
+    receivers: list[np.ndarray] = field(default_factory=list)
+    fields: list[np.ndarray] = field(default_factory=list)
+    multiplicity: list[np.ndarray] = field(default_factory=list)
+    row_bits: list[np.ndarray] = field(default_factory=list)
+
+
+class BulkRound:
+    """One round's drained aggregate traffic, in flight to next round.
+
+    Holds concatenated per-kind arrays plus the merged
+    :class:`RoundTraffic` numbers the scheduler folds into
+    :class:`~repro.congest.metrics.RunMetrics` at delivery time - the
+    same totals and per-edge maxima that materializing every message
+    would have produced.
+    """
+
+    def __init__(
+        self,
+        kinds: dict[str, BulkKindInbox],
+        receivers_by_kind: dict[str, np.ndarray],
+        row_bits_by_kind: dict[str, np.ndarray],
+        traffic: RoundTraffic,
+    ) -> None:
+        self._kinds = kinds
+        self._receivers = receivers_by_kind
+        self._row_bits = row_bits_by_kind
+        self.traffic = traffic
+
+    def __bool__(self) -> bool:
+        return bool(self._kinds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(
+            int(batch.multiplicity.sum()) for batch in self._kinds.values()
+        )
+
+    def take(
+        self, kind: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Remove one kind's traffic wholesale and return it as
+        ``(senders, receivers, fields, multiplicity)`` arrays.
+
+        Used by fast-path drivers that claim a message kind: the claimed
+        traffic skips the per-receiver split of :meth:`group_by_receiver`
+        and is processed network-wide instead.  Accounting is unaffected
+        (``traffic`` was fixed at drain time)."""
+        batch = self._kinds.pop(kind, None)
+        if batch is None:
+            return None
+        receivers = self._receivers.pop(kind)
+        self._row_bits.pop(kind)
+        return batch.senders, receivers, batch.fields, batch.multiplicity
+
+    def group_by_receiver(self) -> dict[int, BulkInbox]:
+        """Split the round's traffic into per-node bulk inboxes."""
+        inboxes: dict[int, BulkInbox] = {}
+        for kind, batch in self._kinds.items():
+            receivers = self._receivers[kind]
+            order = np.argsort(receivers, kind="stable")
+            sorted_receivers = receivers[order]
+            boundaries = np.nonzero(
+                sorted_receivers[1:] != sorted_receivers[:-1]
+            )[0]
+            starts = np.concatenate(([0], boundaries + 1))
+            ends = np.concatenate((boundaries + 1, [len(sorted_receivers)]))
+            for start, end in zip(starts, ends):
+                node = int(sorted_receivers[start])
+                rows = order[start:end]
+                inboxes.setdefault(node, {})[kind] = BulkKindInbox(
+                    senders=batch.senders[rows],
+                    fields=batch.fields[rows],
+                    multiplicity=batch.multiplicity[rows],
+                )
+        return inboxes
+
+
+_EMPTY_ROUND = BulkRound({}, {}, {}, RoundTraffic())
+
+
+class BulkOutbox:
+    """Fast-path counterpart of :class:`RoundOutbox`.
+
+    Programs push whole arrays of counted messages; limits are checked
+    vectorized - the per-message bit budget at push time, the per-edge
+    message budget at :meth:`drain` (jointly with the round's control
+    messages, since both share each edge's capacity).  The charged
+    quantities are exactly those of the materialized messages: same
+    per-field integer bit costs, same per-edge counts.
+    """
+
+    def __init__(self, policy: BandwidthPolicy) -> None:
+        self._policy = policy
+        self._batches: dict[str, _KindBatch] = {}
+
+    def push(
+        self,
+        sender: int,
+        kind: str,
+        receivers: np.ndarray,
+        fields: np.ndarray,
+        multiplicity: np.ndarray | None = None,
+    ) -> None:
+        """Queue one node's same-kind aggregate sends for this round."""
+        if len(receivers) == 0:
+            return
+        self.push_rows(
+            kind,
+            np.full(len(receivers), sender, dtype=np.int64),
+            receivers,
+            fields,
+            multiplicity,
+        )
+
+    def push_rows(
+        self,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        fields: np.ndarray,
+        multiplicity: np.ndarray | None = None,
+    ) -> None:
+        """Queue aggregate sends from *many* senders at once (row ``i``
+        travels ``senders[i] -> receivers[i]``).  This is how a fast-path
+        driver ships one whole round of network traffic in a single
+        call."""
+        if len(receivers) == 0:
+            return
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        fields = np.asarray(fields, dtype=np.int64)
+        if fields.ndim != 2 or fields.shape[0] != len(receivers):
+            raise ConfigError(
+                "bulk fields must be (len(receivers), f), got "
+                f"{fields.shape} for {len(receivers)} receivers"
+            )
+        if multiplicity is None:
+            multiplicity = np.ones(len(receivers), dtype=np.int64)
+        else:
+            multiplicity = np.asarray(multiplicity, dtype=np.int64)
+        row_bits = TAG_BITS + int_bits_array(fields).sum(axis=1)
+        limit = self._policy.bits_per_message
+        if (row_bits > limit).any():
+            worst = int(np.argmax(row_bits))
+            raise CongestViolation(
+                f"bulk {kind!r} message from node {int(senders[worst])} is "
+                f"{int(row_bits[worst])} bits, exceeding the per-message "
+                f"budget of {limit} bits"
+            )
+        batch = self._batches.setdefault(kind, _KindBatch())
+        batch.senders.append(senders)
+        batch.receivers.append(receivers)
+        batch.fields.append(fields)
+        batch.multiplicity.append(multiplicity)
+        batch.row_bits.append(row_bits)
+
+    def drain(self, n: int, control_messages: list[Message]) -> BulkRound:
+        """Close the round: merge accounting with the round's control
+        messages, enforce the shared per-edge budget, and hand back the
+        in-flight :class:`BulkRound`."""
+        batches, self._batches = self._batches, {}
+        if not batches and not control_messages:
+            return _EMPTY_ROUND
+        kinds: dict[str, BulkKindInbox] = {}
+        receivers_by_kind: dict[str, np.ndarray] = {}
+        row_bits_by_kind: dict[str, np.ndarray] = {}
+        edge_codes_parts: list[np.ndarray] = []
+        edge_messages_parts: list[np.ndarray] = []
+        edge_bits_parts: list[np.ndarray] = []
+        total_messages = 0
+        total_bits = 0
+        max_message_bits = 0
+        for kind, batch in batches.items():
+            senders = np.concatenate(batch.senders)
+            receivers = np.concatenate(batch.receivers)
+            fields = np.concatenate(batch.fields)
+            multiplicity = np.concatenate(batch.multiplicity)
+            row_bits = np.concatenate(batch.row_bits)
+            kinds[kind] = BulkKindInbox(
+                senders=senders, fields=fields, multiplicity=multiplicity
+            )
+            receivers_by_kind[kind] = receivers
+            row_bits_by_kind[kind] = row_bits
+            edge_codes_parts.append(senders * n + receivers)
+            edge_messages_parts.append(multiplicity)
+            edge_bits_parts.append(multiplicity * row_bits)
+            total_messages += int(multiplicity.sum())
+            total_bits += int((multiplicity * row_bits).sum())
+            max_message_bits = max(max_message_bits, int(row_bits.max()))
+        if control_messages:
+            codes = np.array(
+                [m.sender * n + m.receiver for m in control_messages],
+                dtype=np.int64,
+            )
+            bits = np.array(
+                [m.bits for m in control_messages], dtype=np.int64
+            )
+            edge_codes_parts.append(codes)
+            edge_messages_parts.append(np.ones(len(codes), dtype=np.int64))
+            edge_bits_parts.append(bits)
+            total_messages += len(control_messages)
+            total_bits += int(bits.sum())
+            max_message_bits = max(max_message_bits, int(bits.max()))
+        codes = np.concatenate(edge_codes_parts)
+        _, inverse = np.unique(codes, return_inverse=True)
+        edge_messages = np.bincount(
+            inverse, weights=np.concatenate(edge_messages_parts)
+        )
+        edge_bits = np.bincount(
+            inverse, weights=np.concatenate(edge_bits_parts)
+        )
+        max_edge_messages = int(edge_messages.max())
+        if max_edge_messages > self._policy.messages_per_edge:
+            over = int(codes[np.argmax(edge_messages[inverse])])
+            raise CongestViolation(
+                f"edge ({over // n} -> {over % n}) carries "
+                f"{max_edge_messages} messages this round "
+                f"(limit {self._policy.messages_per_edge})"
+            )
+        traffic = RoundTraffic(
+            total_messages=total_messages,
+            total_bits=total_bits,
+            max_edge_messages=max_edge_messages,
+            max_edge_bits=int(edge_bits.max()),
+            max_message_bits=max_message_bits,
+        )
+        return BulkRound(kinds, receivers_by_kind, row_bits_by_kind, traffic)

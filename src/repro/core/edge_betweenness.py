@@ -84,7 +84,7 @@ def girvan_newman_current_flow(
             candidates.update(edge_current_flow_betweenness(sub))
         if not candidates:
             raise GraphError(
-                f"cannot split further: only singleton components remain"
+                "cannot split further: only singleton components remain"
             )
         edge = max(candidates, key=candidates.get)
         working.remove_edge(*edge)

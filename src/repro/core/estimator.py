@@ -8,18 +8,12 @@ share conventions, so their outputs are directly comparable.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.congest.scheduler import Simulator
 from repro.congest.transport import BandwidthPolicy
 from repro.core.montecarlo import estimate_rwbc_montecarlo
 from repro.core.exact import rwbc_exact
 from repro.core.parameters import WalkParameters, default_parameters
-from repro.core.protocol import (
-    PHASE_COUNTING,
-    ProtocolConfig,
-    make_protocol_factory,
-)
+from repro.core.protocol import ProtocolConfig, make_protocol_factory
 from repro.core.result import DistributedRWBCResult
 from repro.core.walk_manager import TransportPolicy
 from repro.graphs.graph import Graph, GraphError
@@ -57,6 +51,7 @@ def estimate_rwbc_distributed(
     record_messages: bool = False,
     survival_alpha: float | None = None,
     split_sampling: bool = False,
+    vectorized: bool | None = None,
 ) -> DistributedRWBCResult:
     """Run the paper's full distributed algorithm on the CONGEST simulator.
 
@@ -80,6 +75,12 @@ def estimate_rwbc_distributed(
         Semantics switches shared with the other engines.
     record_messages:
         Keep the full message log (for cut-bit analyses).
+    vectorized:
+        Fast-path selection, forwarded to :class:`Simulator`: ``None``
+        auto-selects the vectorized scheduler loop (the default; it
+        falls back to per-message dispatch when ``record_messages`` is
+        set), ``False`` forces per-message dispatch, ``True`` requires
+        the fast path.  Same seed, same result either way.
     """
     if graph.num_nodes < 2:
         raise GraphError("need at least 2 nodes")
@@ -108,6 +109,7 @@ def estimate_rwbc_distributed(
         seed=seed,
         max_rounds=max_rounds or default_max_rounds(n, parameters),
         record_messages=record_messages,
+        vectorized=vectorized,
     )
     result = simulator.run()
 

@@ -33,15 +33,25 @@ arbitrary graphs first); source ids double as count-vector indices.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
-from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.node import (
+    NodeInfo,
+    RoundContext,
+    VectorizedProgram,
+)
 from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.congest.node import BulkRoundContext
+    from repro.congest.transport import BulkInbox
 from repro.core.flow_math import betweenness_from_raw_flow, node_raw_flow
 from repro.core.termination import KIND_DONE, KIND_TERM, DeathCounterLogic
+from repro.core.walk_engine import CountingWalkEngine
 from repro.core.walk_manager import (
     KIND_WALK,
     KIND_WALK_BATCH,
@@ -123,7 +133,7 @@ class ProtocolConfig:
         return "all nodes" if self.survival_alpha is not None else "all but t"
 
 
-class RWBCNodeProgram(NodeProgram):
+class RWBCNodeProgram(VectorizedProgram):
     """One node of the distributed RWBC algorithm.
 
     Outputs after the run: ``betweenness`` (this node's estimate),
@@ -131,6 +141,13 @@ class RWBCNodeProgram(NodeProgram):
     node), and the phase-boundary rounds ``counting_start_round`` /
     ``exchange_start_round`` / ``finish_round`` for the complexity
     experiments.
+
+    The program is a :class:`VectorizedProgram`: walk and exchange
+    traffic can travel as aggregate per-edge counts on the scheduler's
+    fast path.  Both paths funnel each round's walk arrivals through one
+    grouped :meth:`WalkManager.receive_group_arrays` call, so the random
+    stream - and therefore every tally and every message count - is
+    identical for the same seed.
     """
 
     def __init__(
@@ -148,10 +165,21 @@ class RWBCNodeProgram(NodeProgram):
         self._tree: FloodMaxState | None = None
         self._walks: WalkManager | None = None
         self._death_counter: DeathCounterLogic | None = None
+        # Fast path only: the shared network-wide counting engine.
+        self._engine: CountingWalkEngine | None = None
         self._neighbor_degrees: dict[int, int] = {}
+        # One (2, n) half-count slab per neighbor, backed by a single
+        # (degree, 2, n) matrix so the fast path can scatter a whole
+        # round's exchange arrivals in one vectorized store.  The dict
+        # values are views into the matrix - both access paths see the
+        # same data.
+        self._neighbor_index = np.array(info.neighbors, dtype=np.int64)
+        self._neighbor_matrix = np.zeros(
+            (info.degree, 2, info.n), dtype=np.int64
+        )
         self._neighbor_counts: dict[int, np.ndarray] = {
-            neighbor: np.zeros((2, info.n), dtype=np.int64)
-            for neighbor in info.neighbors
+            neighbor: self._neighbor_matrix[j]
+            for j, neighbor in enumerate(info.neighbors)
         }
         self._exchange_start: int | None = None
         # Outputs.
@@ -180,6 +208,33 @@ class RWBCNodeProgram(NodeProgram):
             self._exchange_round(ctx, inbox)
         else:  # PHASE_DONE: ignore stragglers (none are expected).
             self.halt()
+
+    def on_bulk_round(
+        self,
+        ctx: BulkRoundContext,
+        inbox: list[Message],
+        bulk: BulkInbox | None,
+    ) -> None:
+        if self.phase == PHASE_SETUP:
+            # Setup traffic (flood-max, degrees) is lightweight control
+            # traffic; it stays per-message on both paths.
+            self._setup_round(ctx, inbox)
+        elif self.phase == PHASE_COUNTING:
+            self._counting_round_engine(ctx, inbox)
+        elif self.phase == PHASE_EXCHANGE:
+            self._exchange_round(ctx, inbox, bulk)
+        else:
+            self.halt()
+
+    @property
+    def bulk_idle(self) -> bool:
+        """Skippable on the fast path: during counting, all walk
+        movement and termination reporting runs inside the shared
+        :class:`CountingWalkEngine`, so a node only needs a round of its
+        own when control mail (term/done) arrives.  Setup and exchange
+        rounds are round-number driven, so the node must run every one
+        of them."""
+        return self.phase == PHASE_COUNTING
 
     # ------------------------------------------------------------------
     # Phase 1: setup (leader election, tree, degrees)
@@ -230,11 +285,28 @@ class RWBCNodeProgram(NodeProgram):
             children=self._tree.children,
             expected_total=launchers * self.config.walks_per_source,
         )
+        shared = getattr(ctx, "shared", None)
+        if shared is not None:
+            # Fast path: join (or create) the network-wide engine.  This
+            # must precede launch() so the launch visits land in the
+            # engine's global count tensor.
+            engine = shared.slots.get("walk_engine")
+            if engine is None:
+                engine = CountingWalkEngine(n)
+                shared.slots["walk_engine"] = engine
+                shared.register_driver(engine)
+            engine.register(self, self._walks, self._death_counter, ctx)
+            self._engine = engine
         self.phase = PHASE_COUNTING
         self.counting_start_round = r
         self._walks.launch()
         self._death_counter.record_deaths(self._collect_immediate_deaths())
-        self._counting_sends(ctx)
+        if self._engine is not None:
+            # The engine adopts the launch queues at end of this round
+            # and performs the sends (walks and initial term report).
+            self._engine.touch(self.node_id)
+        else:
+            self._counting_sends(ctx)
 
     def _collect_immediate_deaths(self) -> int:
         """Deaths at launch time: none with length >= 1 (enforced), but
@@ -244,22 +316,63 @@ class RWBCNodeProgram(NodeProgram):
     # ------------------------------------------------------------------
     # Phase 2: counting (Algorithm 1)
     # ------------------------------------------------------------------
-    def _counting_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+    def _counting_round_engine(
+        self, ctx: BulkRoundContext, inbox: list[Message]
+    ) -> None:
+        """Fast-path counting round: only control mail reaches the node
+        (walk traffic is claimed by the engine), so this just folds in
+        term reports, reacts to the done wave, and tells the engine the
+        node was active so the post-round pass re-examines its
+        reporting state."""
+        done_round: int | None = None
+        for message in inbox:
+            if message.kind == KIND_TERM:
+                (total,) = message.fields
+                self._death_counter.receive_report(message.sender, total)
+            elif message.kind == KIND_DONE:
+                (done_round,) = message.fields
+        if done_round is not None:
+            self._begin_done_wave(ctx, done_round)
+            return
+        self._engine.touch(self.node_id)
+
+    def _counting_round(
+        self, ctx: RoundContext, inbox: list[Message]
+    ) -> None:
         walks = self._walks
         deaths_before = walks.deaths
         done_round: int | None = None
+        sources: list[int] = []
+        remainings: list[int] = []
+        halves: list[int] = []
+        counts: list[int] = []
         for message in inbox:
             if message.kind == KIND_WALK:
                 source, remaining, half = message.fields
-                walks.receive(source, remaining, half=half)
+                sources.append(source)
+                remainings.append(remaining)
+                halves.append(half)
+                counts.append(1)
             elif message.kind == KIND_WALK_BATCH:
                 source, remaining, half, count = message.fields
-                walks.receive(source, remaining, count, half=half)
+                sources.append(source)
+                remainings.append(remaining)
+                halves.append(half)
+                counts.append(count)
             elif message.kind == KIND_TERM:
                 (total,) = message.fields
                 self._death_counter.receive_report(message.sender, total)
             elif message.kind == KIND_DONE:
                 (done_round,) = message.fields
+        if sources:
+            # One grouped call per round: the randomness consumed depends
+            # only on the multiset of arrivals, never on message order.
+            walks.receive_group_arrays(
+                np.array(sources, dtype=np.int64),
+                np.array(remainings, dtype=np.int64),
+                np.array(halves, dtype=np.int64),
+                np.array(counts, dtype=np.int64),
+            )
         self._death_counter.record_deaths(walks.deaths - deaths_before)
 
         if done_round is None and self._death_counter.root_detects_completion:
@@ -290,7 +403,12 @@ class RWBCNodeProgram(NodeProgram):
     # ------------------------------------------------------------------
     # Phase 3: exchange (Algorithm 2) + local computation
     # ------------------------------------------------------------------
-    def _exchange_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+    def _exchange_round(
+        self,
+        ctx: RoundContext,
+        inbox: list[Message],
+        bulk: BulkInbox | None = None,
+    ) -> None:
         n = self.info.n
         r = ctx.round_number
         for message in inbox:
@@ -302,18 +420,46 @@ class RWBCNodeProgram(NodeProgram):
                 continue  # stragglers from the counting phase
             elif message.kind in (KIND_WALK, KIND_WALK_BATCH):
                 raise ProtocolError(
-                    f"walk message arrived during exchange at node "
+                    "walk message arrived during exchange at node "
                     f"{self.node_id}: termination detection is broken"
+                )
+        if bulk:
+            if KIND_WALK in bulk or KIND_WALK_BATCH in bulk:
+                raise ProtocolError(
+                    "walk message arrived during exchange at node "
+                    f"{self.node_id}: termination detection is broken"
+                )
+            exchange = bulk.get(KIND_EXCHANGE)
+            if exchange is not None:
+                rows = np.searchsorted(
+                    self._neighbor_index, exchange.senders
+                )
+                source_column = exchange.fields[:, 0]
+                self._neighbor_matrix[rows, 0, source_column] = (
+                    exchange.fields[:, 1]
+                )
+                self._neighbor_matrix[rows, 1, source_column] = (
+                    exchange.fields[:, 2]
                 )
         start = self._exchange_start
         if start <= r < start + n:
             source = r - start
-            ctx.broadcast(
-                KIND_EXCHANGE,
-                source,
-                int(self._walks.half_counts[0, source]),
-                int(self._walks.half_counts[1, source]),
-            )
+            count_a = int(self._walks.half_counts[0, source])
+            count_b = int(self._walks.half_counts[1, source])
+            bulk_outbox = getattr(ctx, "bulk", None)
+            if bulk_outbox is not None:
+                # Same broadcast, shipped as one aggregate push.  The
+                # receivers are exactly this node's neighbors, so the
+                # send_bulk adjacency check would be redundant.
+                fields = np.empty((self.degree, 3), dtype=np.int64)
+                fields[:, 0] = source
+                fields[:, 1] = count_a
+                fields[:, 2] = count_b
+                bulk_outbox.push(
+                    self.node_id, KIND_EXCHANGE, self._neighbor_index, fields
+                )
+            else:
+                ctx.broadcast(KIND_EXCHANGE, source, count_a, count_b)
         elif r >= start + n:
             self._finish(r)
 

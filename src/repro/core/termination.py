@@ -68,14 +68,42 @@ class DeathCounterLogic:
     def subtree_total(self) -> int:
         return self.local_deaths + sum(self._child_totals.values())
 
+    def pop_report(self) -> int | None:
+        """Consume a pending report: the new subtree total if it changed
+        since the last report (marking it reported), else ``None``.
+
+        Both simulator paths must send the returned total to the parent
+        as a ``term`` message this round - popping without sending would
+        desynchronize the convergecast.
+        """
+        if self.stopped or self.parent is None:
+            return None
+        total = self.subtree_total
+        if total <= self._last_reported:
+            return None
+        self._last_reported = total
+        return total
+
     def maybe_report(self, ctx: RoundContext) -> None:
         """Send the subtree total to the parent if it changed."""
-        if self.stopped or self.parent is None:
-            return
-        total = self.subtree_total
-        if total > self._last_reported:
-            self._last_reported = total
+        total = self.pop_report()
+        if total is not None:
             ctx.send(self.parent, KIND_TERM, total)
+
+    @property
+    def pending_report(self) -> bool:
+        """True when :meth:`maybe_report` would send this round.
+
+        The scheduler's fast path uses this (via the program's
+        ``bulk_idle``) to skip mail-less rounds: a node with nothing
+        queued and nothing unreported cannot change global state.  The
+        root never reports, and its completion check is safe to skip on
+        mail-less rounds because its subtree total only moves when a
+        report arrives or local walks die - both of which deliver mail.
+        """
+        if self.stopped or self.parent is None:
+            return False
+        return self.subtree_total > self._last_reported
 
     @property
     def root_detects_completion(self) -> bool:

@@ -1,0 +1,467 @@
+"""Network-wide walk engine: the counting phase as one batched kernel.
+
+On the scheduler's fast path, every node's :class:`RWBCNodeProgram`
+registers its :class:`~repro.core.walk_manager.WalkManager` with one
+shared :class:`CountingWalkEngine` (a fast-path *driver*, see
+:class:`~repro.congest.node.SharedFastPathState`).  The engine claims
+the walk message kinds, so each round the scheduler hands it the entire
+network's in-flight walk traffic as four flat arrays; the engine then
+runs the whole round - visit counting, absorption/expiry/thinning,
+next-hop sampling, per-edge budgeted emission, and the death-counter
+convergecast sends - with one pass of vectorized kernels instead of
+``n`` per-node calls.
+
+Equivalence with per-node processing is by construction, not luck:
+
+* arrivals are canonicalized network-wide by
+  :func:`~repro.walks.batched.aggregate_network_groups`, whose per-node
+  segments are exactly the canonical group order
+  :func:`~repro.walks.batched.aggregate_groups` yields node-by-node;
+* randomness stays attributed: each node's segment is thinned/routed
+  with *that node's own generator*, with the same calls in the same
+  per-node order as :meth:`WalkManager.receive_group_arrays` - and
+  since the generators are independent, the cross-node interleaving is
+  immaterial;
+* the managers' launch-time per-edge FIFO queues are adopted verbatim
+  into one pending-token table ordered by (edge, arrival sequence), and
+  the engine's segmented-cumsum emission takes tokens per edge in
+  exactly the slow path's head-of-queue/budget-splitting order, so
+  which token moves when under the bandwidth budget is bit-identical;
+* emission ships the same per-message fields through
+  :meth:`BulkOutbox.push_rows`, which charges the same bits and counts
+  the per-message path would.
+
+The tested guarantee (``tests/test_walks_batched.py``): same seed in,
+identical tallies, estimates, round counts, and traffic accounting out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Message
+from repro.core.termination import KIND_TERM, DeathCounterLogic
+from repro.core.walk_manager import (
+    KIND_WALK,
+    KIND_WALK_BATCH,
+    TransportPolicy,
+    WalkManager,
+)
+from repro.walks.batched import aggregate_network_groups
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.congest.node import BulkRoundContext, NodeProgram
+    from repro.congest.transport import BulkOutbox, RoundOutbox
+
+#: Claimed traffic of one kind: (senders, receivers, fields, multiplicity).
+ClaimedKind = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class CountingWalkEngine:
+    """One counting phase for the whole network, as a fast-path driver.
+
+    Lifecycle: the first node to finish setup creates the engine in
+    ``ctx.shared`` and registers it as a driver; every node then calls
+    :meth:`register` *before* launching its walks (so the manager's
+    count slab becomes a view into the engine's global tensor) and
+    :meth:`touch` each counting round it is woken for control mail.
+    The scheduler calls :meth:`end_round` once per round after the
+    per-node loop; on its first call the engine adopts every manager's
+    launch-time queues and takes over all walk movement from there.
+    """
+
+    claimed_kinds = frozenset({KIND_WALK, KIND_WALK_BATCH})
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        # xi tensors and per-node aggregates; managers hold views into
+        # ``counts`` so both access paths see the same numbers.
+        self.counts = np.zeros((n, 2, n), dtype=np.int64)
+        self.held = np.zeros(n, dtype=np.int64)
+        self.deaths = np.zeros(n, dtype=np.int64)
+        self._round_deaths = np.zeros(n, dtype=np.int64)
+        self._programs: dict[int, NodeProgram] = {}
+        self._managers: dict[int, WalkManager] = {}
+        self._counters: dict[int, DeathCounterLogic] = {}
+        self._contexts: dict[int, BulkRoundContext] = {}
+        self._rngs: dict[int, np.random.Generator] = {}
+        self._touched: set[int] = set()
+        # Pending-token table, one row per queued group:
+        # (edge id, arrival seq, source, remaining_here, half, count).
+        # Rows with equal edge id in ascending seq order ARE that
+        # directed edge's FIFO queue; ``_emit`` keeps it that way.
+        self._pending = np.empty((0, 6), dtype=np.int64)
+        self._seq = 0
+        self._finalized = False
+        # Filled at finalize (from the registered managers).
+        self._offsets: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+        self._edge_src: np.ndarray | None = None
+        self._max_degree = 1
+        self._policy: TransportPolicy = TransportPolicy.QUEUE
+        self._budget = 1
+        self._alpha: float | None = None
+        self._absorbing_target = -1
+
+    # ------------------------------------------------------------------
+    # Per-node hooks (called from the node programs)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        program: "NodeProgram",
+        manager: WalkManager,
+        counter: DeathCounterLogic,
+        ctx: "BulkRoundContext",
+    ) -> None:
+        """Adopt one node.  Must run before the manager launches its
+        walks: the manager's count slab is replaced by a view into the
+        engine's global tensor, so launch-time visits land there."""
+        node = manager.node_id
+        if node in self._managers:
+            raise ProtocolError(
+                f"node {node} registered twice with the walk engine"
+            )
+        manager.half_counts = self.counts[node]
+        manager.attach_engine(self)
+        self._programs[node] = program
+        self._managers[node] = manager
+        self._counters[node] = counter
+        self._contexts[node] = ctx
+        self._rngs[node] = manager.rng
+
+    def touch(self, node: int) -> None:
+        """Mark a node as active this round (it ran for control mail),
+        so the post-round pass considers its termination reporting."""
+        self._touched.add(node)
+
+    # ------------------------------------------------------------------
+    # Driver hook (called by the scheduler, once per round)
+    # ------------------------------------------------------------------
+    def end_round(
+        self,
+        round_number: int,
+        claimed: dict[str, ClaimedKind],
+        outbox: "RoundOutbox",
+        bulk_outbox: "BulkOutbox",
+    ) -> None:
+        if not self._finalized:
+            self._finalize()
+        if claimed:
+            dead = self._process_arrivals(claimed)
+        else:
+            dead = ()
+        if self._touched or len(dead):
+            self._post_round(round_number, outbox, dead)
+        if len(self._pending):
+            self._emit(bulk_outbox)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """First end_round: adopt launch state from every manager."""
+        if len(self._managers) != self.n:
+            raise ProtocolError(
+                f"walk engine started with {len(self._managers)}/{self.n} "
+                "nodes registered"
+            )
+        first = self._managers[0]
+        self._policy = first.policy
+        self._budget = first.walk_budget
+        self._alpha = first.survival_alpha
+        self._absorbing_target = first.target
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        targets: list[int] = []
+        adopted: list[tuple[int, int, int, int, int, int]] = []
+        seq = 0
+        for node in range(self.n):
+            manager = self._managers[node]
+            base = len(targets)
+            targets.extend(manager.neighbors)
+            offsets[node + 1] = len(targets)
+            # Adopt the managers' launch-time queues verbatim: per-edge
+            # FIFO order is part of the random-stream contract.
+            for port, neighbor in enumerate(manager.neighbors):
+                for group in manager._queues[neighbor]:
+                    adopted.append(
+                        (base + port, seq, group[0], group[1], group[2],
+                         group[3])
+                    )
+                    seq += 1
+            self.held[node] = manager._held
+            manager._held = 0
+        if adopted:
+            self._pending = np.array(adopted, dtype=np.int64)
+        self._seq = seq
+        self._offsets = offsets
+        self._targets = np.array(targets, dtype=np.int64)
+        self._degrees = np.diff(offsets)
+        self._edge_src = np.repeat(
+            np.arange(self.n, dtype=np.int64), self._degrees
+        )
+        self._max_degree = int(self._degrees.max())
+        self._finalized = True
+
+    def _process_arrivals(
+        self, claimed: dict[str, ClaimedKind]
+    ) -> np.ndarray:
+        """One round of Algorithm 1 lines 7-15 for the whole network.
+
+        Returns the nodes whose death count changed this round."""
+        parts: list[tuple[np.ndarray, ...]] = []
+        walk = claimed.get(KIND_WALK)
+        if walk is not None:
+            _, receivers, fields, multiplicity = walk
+            parts.append(
+                (receivers, fields[:, 0], fields[:, 1], fields[:, 2],
+                 multiplicity)
+            )
+        batch = claimed.get(KIND_WALK_BATCH)
+        if batch is not None:
+            _, receivers, fields, multiplicity = batch
+            parts.append(
+                (receivers, fields[:, 0], fields[:, 1], fields[:, 2],
+                 fields[:, 3] * multiplicity)
+            )
+        if not parts:
+            return self._round_deaths[:0]
+        if len(parts) == 1:
+            raw = parts[0]
+        else:
+            raw = tuple(
+                np.concatenate([part[i] for part in parts]) for i in range(5)
+            )
+        nodes, sources, remainings, halves, counts = (
+            aggregate_network_groups(*raw)
+        )
+        deaths = self._round_deaths
+        if self._alpha is not None:
+            # Damped mode: per node, one binomial over its canonical
+            # segment - the same single thin_groups call the slow path
+            # makes with the same generator.
+            starts, ends = _segments(nodes)
+            survivors = np.empty_like(counts)
+            for i in range(len(starts)):
+                a, b = starts[i], ends[i]
+                survivors[a:b] = self._rngs[int(nodes[a])].binomial(
+                    counts[a:b], self._alpha
+                )
+            np.add.at(deaths, nodes, counts - survivors)
+            alive = survivors > 0
+            if not alive.all():
+                nodes = nodes[alive]
+                sources = sources[alive]
+                remainings = remainings[alive]
+                halves = halves[alive]
+                counts = survivors[alive]
+            else:
+                counts = survivors
+        else:
+            # Absorbing mode: arrivals at t die without counting the
+            # visit (Eq. 3's removed row).
+            absorbed = nodes == self._absorbing_target
+            if absorbed.any():
+                deaths[self._absorbing_target] += int(counts[absorbed].sum())
+                keep = ~absorbed
+                nodes = nodes[keep]
+                sources = sources[keep]
+                remainings = remainings[keep]
+                halves = halves[keep]
+                counts = counts[keep]
+        if len(nodes):
+            np.add.at(self.counts, (nodes, halves, sources), counts)
+            expired = remainings == 0
+            if expired.any():
+                np.add.at(deaths, nodes[expired], counts[expired])
+                live = ~expired
+                nodes = nodes[live]
+                sources = sources[live]
+                remainings = remainings[live]
+                halves = halves[live]
+                counts = counts[live]
+        if len(nodes):
+            self._route(nodes, sources, remainings, halves, counts)
+        return np.nonzero(deaths)[0]
+
+    def _route(
+        self,
+        nodes: np.ndarray,
+        sources: np.ndarray,
+        remainings: np.ndarray,
+        halves: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Sample next hops (one uniform draw per node, from that node's
+        own generator over its canonical segment - identical stream to
+        :func:`~repro.walks.batched.route_groups`) and append the
+        resulting per-edge groups to the pending table.
+
+        The only per-node work left is the generator call itself (the
+        random-stream contract pins one ``integers`` call per node per
+        round); expansion, histogramming, and queueing are one batch
+        over the whole network."""
+        np.add.at(self.held, nodes, counts)
+        groups = len(nodes)
+        token_group = np.repeat(
+            np.arange(groups, dtype=np.int64), counts
+        )
+        bounds = np.empty(groups + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(counts, out=bounds[1:])
+        draws = np.empty(len(token_group), dtype=np.int64)
+        starts, ends = _segments(nodes)
+        rngs = self._rngs
+        degrees = self._degrees
+        for i in range(len(starts)):
+            node = int(nodes[starts[i]])
+            lo, hi = bounds[starts[i]], bounds[ends[i]]
+            draws[lo:hi] = rngs[node].integers(
+                0, int(degrees[node]), size=int(hi - lo)
+            )
+        # Histogram tokens into (group, chosen port) cells.  Ascending
+        # cell index is group-major: for any fixed edge, groups enter
+        # the pending table in ascending canonical order - the same
+        # per-edge FIFO order the per-node path produces.
+        dmax = self._max_degree
+        flat = np.bincount(
+            token_group * dmax + draws, minlength=groups * dmax
+        )
+        cells = np.nonzero(flat)[0]
+        group_of = cells // dmax
+        port = cells - group_of * dmax
+        g_nodes = nodes[group_of]
+        entries = np.empty((len(cells), 6), dtype=np.int64)
+        entries[:, 0] = self._offsets[g_nodes] + port
+        entries[:, 1] = np.arange(
+            self._seq, self._seq + len(cells), dtype=np.int64
+        )
+        self._seq += len(cells)
+        entries[:, 2] = sources[group_of]
+        entries[:, 3] = remainings[group_of]
+        entries[:, 4] = halves[group_of]
+        entries[:, 5] = flat[cells]
+        if len(self._pending):
+            self._pending = np.concatenate((self._pending, entries))
+        else:
+            self._pending = entries
+
+    def _post_round(
+        self,
+        round_number: int,
+        outbox: "RoundOutbox",
+        dead: np.ndarray | tuple,
+    ) -> None:
+        """The non-walk tail of each node's counting round: fold this
+        round's deaths into the convergecast, send changed subtree
+        totals, and let the root start the done wave on detection."""
+        post = self._touched
+        if len(dead):
+            post = post | {int(node) for node in dead}
+        for node in sorted(post):
+            counter = self._counters[node]
+            delta = int(self._round_deaths[node])
+            if delta:
+                self._round_deaths[node] = 0
+                self.deaths[node] += delta
+                counter.record_deaths(delta)
+            if counter.stopped:
+                continue
+            if counter.parent is None:
+                if counter.root_detects_completion:
+                    done_round = round_number + self.n + 2
+                    self._programs[node]._begin_done_wave(
+                        self._contexts[node], done_round
+                    )
+            else:
+                total = counter.pop_report()
+                if total is not None:
+                    outbox.push(
+                        Message(
+                            sender=node,
+                            receiver=counter.parent,
+                            kind=KIND_TERM,
+                            fields=(total,),
+                        )
+                    )
+        self._touched = set()
+
+    def _emit(self, bulk_outbox: "BulkOutbox") -> None:
+        """Dequeue every edge's sendable tokens under the per-edge
+        budget (same head-splitting / whole-group rules as
+        :meth:`WalkManager.emit_round`) and ship the whole round as one
+        aggregate push.
+
+        QUEUE charges the budget per *token* and may split the group at
+        the queue head; BATCH charges it per *group message*.  Both are
+        computed for all edges at once: sort the pending table by
+        (edge, seq) and a segmented cumulative sum yields each group's
+        take under its edge's budget - exactly the decisions the
+        per-edge head-of-queue loop would make."""
+        pending = self._pending
+        order = np.lexsort((pending[:, 1], pending[:, 0]))
+        pending = pending[order]
+        edges = pending[:, 0]
+        counts = pending[:, 5]
+        starts, ends = _segments(edges)
+        lengths = ends - starts
+        budget = self._budget
+        if self._policy is TransportPolicy.QUEUE:
+            prior = np.cumsum(counts) - counts
+            prior_within = prior - np.repeat(prior[starts], lengths)
+            take = np.clip(budget - prior_within, 0, counts)
+        else:
+            rank = np.arange(len(edges), dtype=np.int64) - np.repeat(
+                starts, lengths
+            )
+            take = np.where(rank < budget, counts, 0)
+        sendable = take > 0
+        sent = pending[sendable]
+        taken = take[sendable]
+        edge_ids = sent[:, 0]
+        senders = self._edge_src[edge_ids]
+        np.subtract.at(self.held, senders, taken)
+        fields = np.empty(
+            (len(sent), 3 if self._policy is TransportPolicy.QUEUE else 4),
+            dtype=np.int64,
+        )
+        fields[:, 0] = sent[:, 2]
+        fields[:, 1] = sent[:, 3] - 1
+        fields[:, 2] = sent[:, 4]
+        if self._policy is TransportPolicy.QUEUE:
+            bulk_outbox.push_rows(
+                KIND_WALK,
+                senders,
+                self._targets[edge_ids],
+                fields,
+                taken,
+            )
+        else:
+            fields[:, 3] = taken
+            bulk_outbox.push_rows(
+                KIND_WALK_BATCH,
+                senders,
+                self._targets[edge_ids],
+                fields,
+            )
+        left = counts - take
+        waiting = left > 0
+        if waiting.any():
+            kept = pending[waiting]
+            kept[:, 5] = left[waiting]
+            self._pending = kept
+        else:
+            self._pending = pending[:0]
+
+
+def _segments(nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start/end index pairs of the equal-node runs of a sorted array."""
+    boundary = np.empty(len(nodes), dtype=bool)
+    boundary[0] = True
+    np.not_equal(nodes[1:], nodes[:-1], out=boundary[1:])
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], len(nodes))
+    return starts, ends

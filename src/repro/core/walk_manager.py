@@ -5,20 +5,29 @@ Each node owns a :class:`WalkManager` that:
 * launches the node's ``K`` walks,
 * processes walk arrivals (count the visit, absorb at the target, expire
   at length 0, otherwise pick the next hop uniformly at random *at
-  enqueue time* and queue the token on that edge),
+  arrival time* and queue the token on that edge),
 * emits at most ``walk_budget`` walk messages per outgoing edge per round
   (the CONGEST constraint), under one of two policies:
 
   - ``QUEUE``: tokens are sent individually; excess tokens wait in FIFO
     order on their chosen edge (never re-rolling the choice - re-rolling
     would bias hops toward uncongested edges and break uniformity);
-  - ``BATCH``: tokens on the same edge with identical ``(source,
-    remaining)`` fields are coalesced into one counted message, which is
-    still ``O(log n)`` bits.
+  - ``BATCH``: tokens queued together with identical ``(source,
+    remaining)`` fields travel as one counted message, which is still
+    ``O(log n)`` bits.
 
 The paper's line 6 ("if there is more than one random walk needed to be
 sent to v, just send a random walk to v randomly") is ambiguous between
 these readings; both are implemented and compared in experiment E12.
+
+Internally all token state is *grouped*: tokens with identical
+``(source, remaining, half)`` are one ``count`` entry, and each round's
+arrivals are canonicalized and routed by the vectorized kernel in
+:mod:`repro.walks.batched` with a single uniform draw per node per
+round.  Because the draw order depends only on the canonical group
+order - never on message arrival order - the per-message simulation and
+the scheduler's aggregate fast path consume identical random streams and
+produce identical tallies.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import numpy as np
 
 from repro.congest.errors import ProtocolError
 from repro.congest.node import RoundContext
+from repro.walks.batched import aggregate_groups, route_groups, thin_groups
 
 KIND_WALK = "walk"
 KIND_WALK_BATCH = "walkb"
@@ -95,11 +105,25 @@ class WalkManager:
         # xi_v^s of Algorithm 1, indexed by source id (labels are 0..n-1);
         # in split mode, one row per half (A = 0, B = 1).
         self.half_counts = np.zeros((2, n), dtype=np.int64)
-        self.deaths = 0
-        # One FIFO of (source, remaining_here, half) tokens per edge.
-        self._queues: dict[int, deque[tuple[int, int, int]]] = {
+        self._deaths = 0
+        # One FIFO of [source, remaining_here, half, count] groups per edge.
+        self._queues: dict[int, deque[list[int]]] = {
             neighbor: deque() for neighbor in neighbors
         }
+        self._held = 0
+        # Set when a network-wide engine takes over this manager's queue
+        # and death bookkeeping (the half_counts array is then a view
+        # into the engine's global tensor).
+        self._engine = None
+
+    def attach_engine(self, engine) -> None:
+        """Hand bookkeeping over to a network-wide counting engine.
+
+        After attachment, :attr:`deaths`, :attr:`held_walks`, and
+        :attr:`idle` read the engine's per-node slots; the per-manager
+        receive/send machinery must no longer be driven directly.
+        """
+        self._engine = engine
 
     @property
     def counts(self) -> np.ndarray:
@@ -119,121 +143,199 @@ class WalkManager:
         """
         if self.survival_alpha is None and self.node_id == self.target:
             return
-        for walk_index in range(self.walks_per_source):
-            half = (
-                walk_index % 2 if self.split_sampling else 0
+        k = self.walks_per_source
+        if self.split_sampling:
+            halves = np.array([0, 1], dtype=np.int64)
+            group_counts = np.array([(k + 1) // 2, k // 2], dtype=np.int64)
+        else:
+            halves = np.zeros(1, dtype=np.int64)
+            group_counts = np.array([k], dtype=np.int64)
+        if self.count_initial:
+            np.add.at(
+                self.half_counts,
+                (halves, np.full(len(halves), self.node_id)),
+                group_counts,
             )
-            if self.count_initial:
-                self.half_counts[half, self.node_id] += 1
-            self._enqueue(self.node_id, self.length, half)
-
-    def _enqueue(self, source: int, remaining_here: int, half: int) -> None:
-        """Choose the next hop uniformly now; the choice is final."""
-        neighbor = self.neighbors[int(self.rng.integers(len(self.neighbors)))]
-        self._queues[neighbor].append((source, remaining_here, half))
-
-    def _enqueue_bulk(
-        self, source: int, remaining_here: int, half: int, count: int
-    ) -> None:
-        """Enqueue ``count`` i.i.d. tokens via one multinomial draw."""
-        d = len(self.neighbors)
-        allocation = self.rng.multinomial(count, np.full(d, 1.0 / d))
-        for neighbor, tokens in zip(self.neighbors, allocation):
-            for _ in range(int(tokens)):
-                self._queues[neighbor].append((source, remaining_here, half))
+        sources = np.full(len(halves), self.node_id, dtype=np.int64)
+        remainings = np.full(len(halves), self.length, dtype=np.int64)
+        self._route(sources, remainings, halves, group_counts)
 
     def receive(
         self, source: int, remaining: int, count: int = 1, half: int = 0
     ) -> None:
         """Process ``count`` arriving walk tokens (lines 7-15).
 
-        ``remaining`` is the hop budget left *from this node*.  In damped
-        mode each arriving token first survives its hop with probability
-        alpha (binomial thinning of batches); dead tokens neither count
-        the visit nor continue - matching the ``sum_r (alpha M)^r``
-        series the alpha-CFBC potentials are built from.
+        Convenience wrapper over :meth:`receive_group_arrays` for one
+        group; the protocol aggregates a whole round's arrivals and makes
+        one grouped call instead, so both simulator paths draw the same
+        randomness.
         """
         if count < 1:
             raise ProtocolError("walk arrival count must be >= 1")
         if half not in (0, 1):
             raise ProtocolError("walk half tag must be 0 or 1")
+        self.receive_group_arrays(
+            np.array([source], dtype=np.int64),
+            np.array([remaining], dtype=np.int64),
+            np.array([half], dtype=np.int64),
+            np.array([count], dtype=np.int64),
+        )
+
+    def receive_group_arrays(
+        self,
+        sources: np.ndarray,
+        remainings: np.ndarray,
+        halves: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Process one round's walk arrivals, given as token groups.
+
+        ``remainings`` are the hop budgets left *from this node*.  The
+        groups are canonicalized first, so the randomness consumed here
+        is a function of the multiset of arrivals only - the property the
+        batched fast path relies on.  In damped mode each arriving token
+        first survives its hop with probability alpha (vectorized
+        binomial thinning); dead tokens neither count the visit nor
+        continue - matching the ``sum_r (alpha M)^r`` series the
+        alpha-CFBC potentials are built from.
+        """
+        if len(sources) == 0:
+            return
+        sources, remainings, halves, counts = aggregate_groups(
+            sources, remainings, halves, counts
+        )
         if self.survival_alpha is not None:
-            survivors = int(self.rng.binomial(count, self.survival_alpha))
-            self.deaths += count - survivors
-            count = survivors
-            if count == 0:
+            survivors = thin_groups(self.rng, counts, self.survival_alpha)
+            self._deaths += int(counts.sum() - survivors.sum())
+            alive = survivors > 0
+            if not alive.any():
                 return
+            sources = sources[alive]
+            remainings = remainings[alive]
+            halves = halves[alive]
+            counts = survivors[alive]
         elif self.node_id == self.target:
             # Absorbed; by Eq. 3's removed row, absorption is not a visit.
-            self.deaths += count
+            self._deaths += int(counts.sum())
             return
-        self.half_counts[half, source] += count
-        if remaining == 0:
-            self.deaths += count
-            return
-        if count == 1:
-            self._enqueue(source, remaining, half)
-        else:
-            self._enqueue_bulk(source, remaining, half, count)
+        np.add.at(self.half_counts, (halves, sources), counts)
+        expired = remainings == 0
+        if expired.any():
+            self._deaths += int(counts[expired].sum())
+            live = ~expired
+            if not live.any():
+                return
+            sources = sources[live]
+            remainings = remainings[live]
+            halves = halves[live]
+            counts = counts[live]
+        self._route(sources, remainings, halves, counts)
+
+    def _route(
+        self,
+        sources: np.ndarray,
+        remainings: np.ndarray,
+        halves: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Choose next hops now (one vectorized draw; choices are final)
+        and queue the resulting per-edge groups."""
+        allocation = route_groups(self.rng, len(self.neighbors), counts)
+        for j, neighbor in enumerate(self.neighbors):
+            column = allocation[:, j]
+            for g in np.nonzero(column)[0]:
+                self._queues[neighbor].append(
+                    [
+                        int(sources[g]),
+                        int(remainings[g]),
+                        int(halves[g]),
+                        int(column[g]),
+                    ]
+                )
+        self._held += int(counts.sum())
 
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send_round(self, ctx: RoundContext) -> int:
-        """Emit up to ``walk_budget`` walk messages per edge; return the
-        number of messages sent."""
-        sent = 0
+    def emit_round(self) -> list[tuple[int, int, int, int, int]]:
+        """Dequeue this round's sendable tokens under the per-edge budget.
+
+        Returns ``(neighbor, source, remaining_after_hop, half, count)``
+        entries.  Under QUEUE each entry stands for ``count`` individual
+        messages (the budget counts tokens); under BATCH each entry is
+        one counted message (the budget counts messages).  The caller
+        materializes messages (slow path) or ships the entries in
+        aggregate (fast path) - either way the queue dynamics, and hence
+        the random stream, are identical.
+        """
+        entries: list[tuple[int, int, int, int, int]] = []
         for neighbor in self.neighbors:
             queue = self._queues[neighbor]
             if not queue:
                 continue
+            budget = self.walk_budget
             if self.policy is TransportPolicy.QUEUE:
-                sent += self._send_queue(ctx, neighbor, queue)
+                while queue and budget > 0:
+                    group = queue[0]
+                    take = min(budget, group[3])
+                    entries.append(
+                        (neighbor, group[0], group[1] - 1, group[2], take)
+                    )
+                    budget -= take
+                    if take == group[3]:
+                        queue.popleft()
+                    else:
+                        group[3] -= take
             else:
-                sent += self._send_batch(ctx, neighbor, queue)
-        return sent
+                while queue and budget > 0:
+                    source, remaining_here, half, count = queue.popleft()
+                    entries.append(
+                        (neighbor, source, remaining_here - 1, half, count)
+                    )
+                    budget -= 1
+        self._held -= sum(entry[4] for entry in entries)
+        return entries
 
-    def _send_queue(self, ctx, neighbor, queue) -> int:
-        sent = 0
-        while queue and sent < self.walk_budget:
-            source, remaining_here, half = queue.popleft()
-            ctx.send(neighbor, KIND_WALK, source, remaining_here - 1, half)
-            sent += 1
-        return sent
+    def send_round(self, ctx: RoundContext) -> int:
+        """Emit this round's walk messages; return how many were sent.
 
-    def _send_batch(self, ctx, neighbor, queue) -> int:
+        Materializes each emitted group into individual ``walk`` /
+        ``walkb`` messages (the per-message simulation path; on the
+        scheduler's fast path the network-wide engine ships every node's
+        groups in aggregate instead).
+        """
+        entries = self.emit_round()
+        if not entries:
+            return 0
         sent = 0
-        while queue and sent < self.walk_budget:
-            # Coalesce every queued token matching the head's fields.
-            head = queue[0]
-            count = 0
-            kept: deque[tuple[int, int, int]] = deque()
-            while queue:
-                token = queue.popleft()
-                if token == head:
-                    count += 1
-                else:
-                    kept.append(token)
-            self._queues[neighbor] = queue = kept
-            source, remaining_here, half = head
-            ctx.send(
-                neighbor,
-                KIND_WALK_BATCH,
-                source,
-                remaining_here - 1,
-                half,
-                count,
-            )
-            sent += 1
+        for neighbor, source, remaining, half, count in entries:
+            if self.policy is TransportPolicy.QUEUE:
+                for _ in range(count):
+                    ctx.send(neighbor, KIND_WALK, source, remaining, half)
+                sent += count
+            else:
+                ctx.send(
+                    neighbor, KIND_WALK_BATCH, source, remaining, half, count
+                )
+                sent += 1
         return sent
 
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------
     @property
+    def deaths(self) -> int:
+        """Walks that died at this node (absorbed, expired, or thinned)."""
+        if self._engine is not None:
+            return int(self._engine.deaths[self.node_id])
+        return self._deaths
+
+    @property
     def held_walks(self) -> int:
         """Tokens currently queued at this node."""
-        return sum(len(q) for q in self._queues.values())
+        if self._engine is not None:
+            return int(self._engine.held[self.node_id])
+        return self._held
 
     @property
     def idle(self) -> bool:

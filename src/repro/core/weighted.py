@@ -20,7 +20,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.core.flow_math import betweenness_from_raw_flow, node_raw_flow, pair_sum_all
+from repro.core.flow_math import betweenness_from_raw_flow, pair_sum_all
 from repro.graphs.graph import Graph, GraphError, NodeId
 from repro.graphs.properties import is_connected
 

@@ -18,7 +18,6 @@ our solvers and networkx is a genuine cross-check rather than a tautology.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
-from typing import Any
 
 import numpy as np
 

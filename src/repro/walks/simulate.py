@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph, GraphError
 from repro.graphs.properties import is_connected
+from repro.walks.batched import csr_arrays, step_tokens
 
 
 @dataclass(frozen=True)
@@ -58,17 +59,9 @@ class WalkCounts:
         return self.expired / total if total else 0.0
 
 
-def _csr_arrays(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
-    """Compressed adjacency: (offsets, targets) in canonical index space."""
-    order = graph.canonical_order()
-    index = {node: i for i, node in enumerate(order)}
-    offsets = np.zeros(len(order) + 1, dtype=np.int64)
-    targets_list: list[int] = []
-    for i, node in enumerate(order):
-        neighbor_indices = sorted(index[v] for v in graph.neighbors(node))
-        targets_list.extend(neighbor_indices)
-        offsets[i + 1] = len(targets_list)
-    return offsets, np.array(targets_list, dtype=np.int64)
+# Re-exported for back-compat: the CSR builder now lives in the batched
+# kernel shared with the distributed fast path.
+_csr_arrays = csr_arrays
 
 
 def simulate_walk_counts(
@@ -116,7 +109,7 @@ def simulate_walk_counts(
 
     n = graph.num_nodes
     t_idx = graph.index_of(target)
-    offsets, targets = _csr_arrays(graph)
+    offsets, targets = csr_arrays(graph)
     degrees = (offsets[1:] - offsets[:-1]).astype(np.int64)
 
     counts = np.zeros((n, n), dtype=np.int64)
@@ -133,8 +126,7 @@ def simulate_walk_counts(
     for _ in range(length):
         if current.size == 0:
             break
-        steps = rng.integers(0, degrees[current])
-        nxt = targets[offsets[current] + steps]
+        nxt = step_tokens(rng, offsets, targets, degrees, current)
         hit_target = nxt == t_idx
         absorbed += int(hit_target.sum())
         survivors = ~hit_target

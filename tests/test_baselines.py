@@ -1,7 +1,6 @@
 """Tests for the comparator measures (sections I-II of the paper)."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.baselines.alpha_cfbc import (

@@ -5,7 +5,6 @@ IDENTICAL outputs under the synchronizer on an asynchronous network with
 arbitrary (FIFO) message delays.
 """
 
-import numpy as np
 import pytest
 
 from repro.congest.asynchronous import AsyncSimulator, run_async

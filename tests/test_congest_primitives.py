@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.congest.node import NodeInfo
-from repro.congest.primitives.bfs import BFSProgram, make_bfs_factory
+from repro.congest.primitives.bfs import make_bfs_factory
 from repro.congest.primitives.broadcast import TreeBroadcastProgram
 from repro.congest.primitives.convergecast import ConvergecastSumProgram
 from repro.congest.primitives.leader import LeaderElectionProgram

@@ -1,6 +1,5 @@
 """Tests for the scheduler, transport enforcement, and metrics."""
 
-import numpy as np
 import pytest
 
 from repro.congest.errors import (
@@ -10,7 +9,7 @@ from repro.congest.errors import (
     RoundLimitExceeded,
 )
 from repro.congest.message import Message
-from repro.congest.node import NodeInfo, NodeProgram, RoundContext
+from repro.congest.node import NodeProgram
 from repro.congest.scheduler import Simulator, run_program
 from repro.congest.transport import BandwidthPolicy, RoundOutbox
 from repro.graphs.generators import cycle_graph, path_graph, star_graph

@@ -1,7 +1,5 @@
 """Tests for the post-hoc message-log auditor and tracer wiring."""
 
-import pytest
-
 from repro.congest.message import Message
 from repro.congest.scheduler import Simulator, run_program
 from repro.congest.trace import Tracer

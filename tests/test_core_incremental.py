@@ -12,7 +12,7 @@ from repro.graphs.generators import (
     erdos_renyi_graph,
     path_graph,
 )
-from repro.graphs.graph import Graph, GraphError
+from repro.graphs.graph import GraphError
 from repro.walks.absorbing import grounded_inverse
 from repro.walks.resistance import effective_resistance
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.congest.errors import ProtocolError
-from repro.congest.message import Message
 from repro.congest.node import RoundContext
 from repro.congest.transport import BandwidthPolicy, RoundOutbox
 from repro.core.termination import DeathCounterLogic
@@ -216,8 +215,6 @@ class TestWalkConservation:
             walks_per_source=50, length=3, walk_budget=1, rng=rng
         )
         manager.launch()
-        alive = manager.held_walks
-        in_flight = []
         for _ in range(300):
             ctx, outbox = make_ctx(0, (1, 2))
             manager.send_round(ctx)

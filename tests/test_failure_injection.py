@@ -6,7 +6,6 @@ the monotone death counter, so the RWBC protocol fails *detectably*
 (round-limit exceeded) instead of returning silently corrupted values.
 """
 
-import numpy as np
 import pytest
 
 from repro.congest.errors import ConfigError, RoundLimitExceeded

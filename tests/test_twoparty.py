@@ -6,7 +6,6 @@ import pytest
 
 from repro.congest.scheduler import Simulator
 from repro.congest.transport import BandwidthPolicy
-from repro.core.parameters import WalkParameters
 from repro.core.protocol import ProtocolConfig, make_protocol_factory
 from repro.graphs.graph import GraphError
 from repro.lowerbound.construction import instance_to_graph

@@ -54,7 +54,7 @@ class TestVarianceIdentity:
     def test_matches_simulation(self, graph, target):
         """The closed form agrees with empirical per-walk variance."""
         k = 30_000
-        result = simulate_walk_counts(
+        simulate_walk_counts(
             graph, target, length=600, walks_per_source=k, seed=0
         )
         predicted = visit_count_variance(graph, target)

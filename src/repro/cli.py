@@ -6,6 +6,7 @@ Commands
 ``estimate``  Monte-Carlo or full distributed estimation
 ``compare``   all centrality measures side by side
 ``diameter``  distributed diameter via pipelined APSP
+``chaos``     distributed estimation under injected faults
 ``info``      available graph families and datasets
 
 Every command takes one graph source: ``--family NAME --n N`` (synthetic,
@@ -113,6 +114,67 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"target={result.target}"
         )
         _print_centrality(result.betweenness, args.top)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.congest.faults import CrashWindow, FaultPlan
+    from repro.core.estimator import estimate_rwbc_distributed
+    from repro.core.parameters import WalkParameters, default_parameters
+
+    graph = _resolve_graph(args)
+    if args.length and args.walks:
+        parameters = WalkParameters(args.length, args.walks)
+    else:
+        parameters = default_parameters(graph.num_nodes)
+    crashes = ()
+    if args.crash is not None:
+        crashes = (
+            CrashWindow(
+                node=args.crash,
+                start=args.crash_start,
+                end=args.crash_start + args.crash_span,
+            ),
+        )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.drop,
+        duplicate_rate=args.dup,
+        delay_rate=args.delay,
+        crashes=crashes,
+    )
+    result = estimate_rwbc_distributed(
+        graph, parameters, seed=args.seed, faults=plan
+    )
+    print(
+        f"# chaos RWBC, n={graph.num_nodes} l={parameters.length} "
+        f"K={parameters.walks_per_source} faults=[{plan.describe()}]"
+    )
+    print(
+        f"# rounds={result.total_rounds} phases={result.phase_rounds} "
+        f"target={result.target}"
+    )
+    faults = result.metrics.faults or {}
+    injected = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+    print(f"# injected: {injected or 'nothing'}")
+    if result.recovery:
+        recovered = " ".join(
+            f"{k}={v}" for k, v in sorted(result.recovery.items())
+        )
+        print(f"# recovery: {recovered}")
+    if args.baseline:
+        baseline = estimate_rwbc_distributed(
+            graph, parameters, seed=args.seed
+        )
+        deviation = max(
+            abs(result.betweenness[node] - baseline.betweenness[node])
+            for node in result.betweenness
+        )
+        print(
+            f"# max deviation from fault-free run (same seed): "
+            f"{deviation:.6f}"
+        )
+    _print_centrality(result.betweenness, args.top)
     return 0
 
 
@@ -233,6 +295,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("--top", type=int)
     estimate.set_defaults(handler=_cmd_estimate)
+
+    chaos = commands.add_parser(
+        "chaos", help="estimate RWBC under injected faults"
+    )
+    _add_graph_arguments(chaos)
+    chaos.add_argument("--length", type=int, help="walk length l")
+    chaos.add_argument("--walks", type=int, help="walks per source K")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--fault-seed", type=int, default=0xD509)
+    chaos.add_argument(
+        "--drop", type=float, default=0.1, help="per-message drop rate"
+    )
+    chaos.add_argument(
+        "--dup", type=float, default=0.0, help="per-message duplication rate"
+    )
+    chaos.add_argument(
+        "--delay", type=float, default=0.0, help="per-message delay rate"
+    )
+    chaos.add_argument(
+        "--crash", type=int, help="crash-recover this node (relabeled id)"
+    )
+    chaos.add_argument(
+        "--crash-start", type=int, default=1, help="crash window start round"
+    )
+    chaos.add_argument(
+        "--crash-span", type=int, default=5, help="crash window length"
+    )
+    chaos.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run fault-free and report the max estimate deviation",
+    )
+    chaos.add_argument("--top", type=int)
+    chaos.set_defaults(handler=_cmd_chaos)
 
     compare = commands.add_parser("compare", help="measure landscape")
     _add_graph_arguments(compare)

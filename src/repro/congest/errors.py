@@ -27,3 +27,24 @@ class RoundLimitExceeded(SimulatorError):
 
 class ProtocolError(SimulatorError):
     """A node program reached an inconsistent internal state."""
+
+
+class FaultInjectionError(ConfigError):
+    """An invalid fault-injection configuration (``FaultPlan``).
+
+    Subclasses :class:`ConfigError`: a bad fault plan *is* a bad
+    simulator configuration (e.g. ``drop_rate`` outside ``[0, 1)``),
+    and callers catching ``ConfigError`` keep working unchanged.
+    """
+
+
+class UnrecoverableLossError(RoundLimitExceeded):
+    """The run hit ``max_rounds`` while fault injection was active.
+
+    Under an adversarial enough :class:`~repro.congest.faults.FaultPlan`
+    (e.g. a crash-stop node that never recovers, or loss beyond what
+    the recovery layer was budgeted for) the protocol cannot complete;
+    the simulator fails *loudly* with this error rather than returning
+    a silently wrong answer.  Subclasses :class:`RoundLimitExceeded`
+    because that is what the non-terminating run observably is.
+    """

@@ -1,0 +1,536 @@
+"""Deterministic fault injection for the CONGEST simulator.
+
+A :class:`FaultPlan` is a *seeded schedule* of link and node failures:
+
+* per-edge message **drops** (the classic lossy-link model),
+* per-edge message **duplication** (at-least-once links),
+* per-edge message **delays** (a message slips 1..``max_delay`` rounds),
+* per-node **crash windows** (crash-stop / crash-recover: during
+  ``[start, end)`` the node executes no rounds and every message to it
+  is lost; it resumes with its memory intact - the standard
+  omission-crash model with stable storage).
+
+The plan replaces the simulator's old bare ``drop_rate`` float (kept as
+the :meth:`FaultPlan.from_drop_rate` convenience constructor).
+
+Determinism contract
+--------------------
+Every per-message fault decision is a *pure hash* of
+``(plan.seed, round, sender, receiver, kind, index)`` where ``index``
+is the message's position among the round's messages on that directed
+edge and kind, counted in canonical delivery order (control messages in
+outbox push order first, then aggregate bulk rows in row order).  There
+is no sequential RNG stream to keep aligned, so the per-message loop
+and the vectorized fast path - which materialize the very same traffic
+in different containers - reach *identical* decisions, and a plan's
+schedule is independent of the protocol seed (one fault schedule can be
+replayed against many protocol seeds).
+
+:class:`FaultRuntime` is the per-run applicator: the scheduler creates
+one per simulation and funnels each round's in-flight traffic through
+it on both execution paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.congest.errors import FaultInjectionError
+from repro.congest.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+# Decision salts: one independent hash family per fault type.
+_SALT_DROP = 0xD1
+_SALT_DUP = 0xD2
+_SALT_DELAY = 0xD3
+_SALT_AMOUNT = 0xD4
+
+
+@lru_cache(maxsize=None)
+def kind_code(kind: str) -> int:
+    """Stable 64-bit code for a message kind (platform-independent)."""
+    digest = hashlib.sha256(kind.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64, wrapping arithmetic)."""
+    with np.errstate(over="ignore"):
+        z = (values + np.uint64(_GOLDEN)).astype(np.uint64)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+def _edge_base(
+    seed: int, round_number: int, sender: int, receiver: int, code: int
+) -> int:
+    """Scalar hash chain shared by every message of one (edge, kind)."""
+    h = np.uint64(seed & _MASK64)
+    for part in (round_number, sender, receiver, code):
+        h = _mix64(
+            np.uint64((int(h) ^ ((part * _GOLDEN) & _MASK64)) & _MASK64)
+        )
+    return int(h)
+
+
+def _uniforms(base: int, salt: int, indices: np.ndarray) -> np.ndarray:
+    """Uniform [0, 1) draw per message index, from the stateless hash."""
+    keys = (
+        np.uint64(base)
+        ^ ((indices.astype(np.uint64) + np.uint64(1)) * np.uint64(_GOLDEN))
+    ) + np.uint64(salt * 0x2545F4914F6CDD1D & _MASK64)
+    return (_mix64(keys) >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+
+@dataclass(frozen=True)
+class EdgeFaultRates:
+    """Per-directed-edge override of the plan's global rates."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("delay", self.delay),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise FaultInjectionError(
+                    f"edge {name} rate must be in [0, 1), got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One node's crash interval: rounds ``[start, end)``.
+
+    ``end=None`` models crash-stop (the node never recovers); a finite
+    ``end`` models crash-recover with stable memory - on recovery the
+    node resumes exactly where it stopped, but everything sent to it
+    while down is gone.
+    """
+
+    node: int
+    start: int
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultInjectionError("crash node id must be >= 0")
+        if self.start < 1:
+            raise FaultInjectionError(
+                "crash windows start at round >= 1 (round 0 has no "
+                "deliveries to lose)"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise FaultInjectionError(
+                f"crash window end {self.end} must exceed start {self.start}"
+            )
+
+    def covers(self, round_number: int) -> bool:
+        if round_number < self.start:
+            return False
+        return self.end is None or round_number < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic failure schedule for one simulation.
+
+    Attributes
+    ----------
+    seed:
+        Hash seed of every per-message decision.  Two runs with the
+        same plan see the same faults, whatever their protocol seeds.
+    drop_rate, duplicate_rate, delay_rate:
+        Global per-message probabilities (mutually exclusive, applied
+        in that priority order).
+    max_delay:
+        Delayed messages slip a uniform 1..``max_delay`` rounds.
+    edge_overrides:
+        ``(sender, receiver) -> EdgeFaultRates`` overriding the global
+        rates on specific directed edges.
+    crashes:
+        Crash-stop / crash-recover windows (see :class:`CrashWindow`).
+    """
+
+    seed: int = 0xD509
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: int = 3
+    edge_overrides: Mapping[tuple[int, int], EdgeFaultRates] = field(
+        default_factory=dict
+    )
+    crashes: tuple[CrashWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("drop_rate", self.drop_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("delay_rate", self.delay_rate),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be in [0, 1), got {value}"
+                )
+        if self.max_delay < 1:
+            raise FaultInjectionError("max_delay must be >= 1")
+        for key, rates in self.edge_overrides.items():
+            if not isinstance(rates, EdgeFaultRates):
+                raise FaultInjectionError(
+                    f"edge override for {key} must be an EdgeFaultRates"
+                )
+        for window in self.crashes:
+            if not isinstance(window, CrashWindow):
+                raise FaultInjectionError(
+                    f"crash entry {window!r} must be a CrashWindow"
+                )
+
+    @classmethod
+    def from_drop_rate(cls, rate: float, seed: int = 0xD509) -> "FaultPlan":
+        """The legacy knob: uniform i.i.d. message loss, nothing else."""
+        return cls(seed=seed, drop_rate=rate)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects nothing (a no-op schedule)."""
+        if self.drop_rate or self.duplicate_rate or self.delay_rate:
+            return False
+        if self.crashes:
+            return False
+        return all(
+            rates.drop == rates.duplicate == rates.delay == 0.0
+            for rates in self.edge_overrides.values()
+        )
+
+    def rates_for(
+        self, sender: int, receiver: int
+    ) -> tuple[float, float, float]:
+        """Effective ``(drop, duplicate, delay)`` rates of one edge."""
+        override = self.edge_overrides.get((sender, receiver))
+        if override is not None:
+            return (override.drop, override.duplicate, override.delay)
+        return (self.drop_rate, self.duplicate_rate, self.delay_rate)
+
+    def describe(self) -> str:
+        parts = []
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        if self.delay_rate:
+            parts.append(f"delay={self.delay_rate:g}(<= {self.max_delay}r)")
+        if self.edge_overrides:
+            parts.append(f"{len(self.edge_overrides)} edge overrides")
+        for window in self.crashes:
+            end = "∞" if window.end is None else window.end
+            parts.append(f"crash(v{window.node}@[{window.start},{end}))")
+        return ", ".join(parts) if parts else "trivial"
+
+
+@dataclass
+class FaultCounters:
+    """What the runtime actually injected, surfaced via RunMetrics."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    crash_dropped: int = 0
+    crash_node_rounds: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "crash_dropped": self.crash_dropped,
+            "crash_node_rounds": self.crash_node_rounds,
+        }
+
+
+#: One delayed bulk row awaiting maturity: (sender, receiver, fields, count).
+_DelayedRow = tuple[int, int, tuple[int, ...], int]
+
+
+class FaultRuntime:
+    """Applies one :class:`FaultPlan` to one simulation run.
+
+    The scheduler calls, in order, once per round:
+
+    1. :meth:`crashed` - the nodes down this round;
+    2. :meth:`begin_round` - reset the per-(edge, kind) index counters;
+    3. :meth:`filter_messages` on the round's control messages, then
+       (fast path only) :meth:`filter_bulk` per bulk kind - index
+       counters carry across the two calls, fixing the canonical
+       control-then-bulk order;
+    4. :meth:`take_delayed` - traffic delayed in earlier rounds that
+       matures now (delivered after the fresh traffic, in both loops).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        self._uniform_rates = not plan.edge_overrides
+        self._indices: dict[tuple[int, int, int], int] = {}
+        self._delayed_messages: dict[int, list[Message]] = {}
+        self._delayed_bulk: dict[int, dict[str, list[_DelayedRow]]] = {}
+        self._crash_cache: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Crash windows
+    # ------------------------------------------------------------------
+    def crashed(self, round_number: int) -> frozenset[int]:
+        """Nodes down during ``round_number``."""
+        cached = self._crash_cache.get(round_number)
+        if cached is None:
+            cached = frozenset(
+                w.node for w in self.plan.crashes if w.covers(round_number)
+            )
+            self._crash_cache[round_number] = cached
+        return cached
+
+    def note_crash_rounds(self, count: int) -> None:
+        """Scheduler hook: ``count`` node-rounds were lost to crashes."""
+        self.counters.crash_node_rounds += count
+
+    # ------------------------------------------------------------------
+    # Per-round application
+    # ------------------------------------------------------------------
+    def begin_round(self, round_number: int) -> None:
+        self._indices = {}
+        self._round = round_number
+
+    def _fates(
+        self,
+        sender: int,
+        receiver: int,
+        kind: str,
+        count: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decide ``count`` consecutive messages of one (edge, kind).
+
+        Returns ``(dropped, duplicated, delay_rounds)`` arrays; a
+        positive ``delay_rounds[i]`` means message ``i`` is removed now
+        and re-delivered that many rounds later.  Advances the edge's
+        index counter, so control and bulk calls compose.
+        """
+        code = kind_code(kind)
+        key = (sender, receiver, code)
+        start = self._indices.get(key, 0)
+        self._indices[key] = start + count
+        drop, dup, delay = self.plan.rates_for(sender, receiver)
+        indices = np.arange(start, start + count, dtype=np.int64)
+        dropped = np.zeros(count, dtype=bool)
+        duplicated = np.zeros(count, dtype=bool)
+        delay_rounds = np.zeros(count, dtype=np.int64)
+        if drop == dup == delay == 0.0:
+            return dropped, duplicated, delay_rounds
+        base = _edge_base(self.plan.seed, self._round, sender, receiver, code)
+        if drop > 0.0:
+            dropped = _uniforms(base, _SALT_DROP, indices) < drop
+        survivors = ~dropped
+        if delay > 0.0:
+            slipped = (
+                _uniforms(base, _SALT_DELAY, indices) < delay
+            ) & survivors
+            if slipped.any():
+                amounts = (
+                    _uniforms(base, _SALT_AMOUNT, indices)
+                    * self.plan.max_delay
+                ).astype(np.int64) + 1
+                delay_rounds[slipped] = amounts[slipped]
+                survivors &= ~slipped
+        if dup > 0.0:
+            duplicated = (
+                _uniforms(base, _SALT_DUP, indices) < dup
+            ) & survivors
+        return dropped, duplicated, delay_rounds
+
+    def filter_messages(
+        self, round_number: int, messages: list[Message]
+    ) -> list[Message]:
+        """Apply the plan to one round's materialized messages.
+
+        Call :meth:`begin_round` first.  Messages to crashed nodes are
+        lost; the rest face the drop/delay/duplicate hash.  Duplicates
+        are delivered immediately after their original.
+        """
+        if not messages:
+            return []
+        down = self.crashed(round_number)
+        live: list[Message] = []
+        for message in messages:
+            if message.receiver in down:
+                self.counters.crash_dropped += 1
+            else:
+                live.append(message)
+        if not live:
+            return []
+        # Group by (edge, kind) in list order; decisions are batched
+        # per group but applied back in the original message order.
+        groups: dict[tuple[int, int, str], list[int]] = {}
+        for position, message in enumerate(live):
+            groups.setdefault(
+                (message.sender, message.receiver, message.kind), []
+            ).append(position)
+        fate_of: dict[int, tuple[bool, bool, int]] = {}
+        for (sender, receiver, kind), positions in groups.items():
+            dropped, duplicated, delay_rounds = self._fates(
+                sender, receiver, kind, len(positions)
+            )
+            for i, position in enumerate(positions):
+                fate_of[position] = (
+                    bool(dropped[i]),
+                    bool(duplicated[i]),
+                    int(delay_rounds[i]),
+                )
+        delivered: list[Message] = []
+        for position, message in enumerate(live):
+            was_dropped, was_duplicated, slip = fate_of[position]
+            if was_dropped:
+                self.counters.dropped += 1
+                continue
+            if slip:
+                self.counters.delayed += 1
+                self._delayed_messages.setdefault(
+                    round_number + slip, []
+                ).append(message)
+                continue
+            delivered.append(message)
+            if was_duplicated:
+                self.counters.duplicated += 1
+                delivered.append(message)
+        return delivered
+
+    def filter_bulk(
+        self,
+        round_number: int,
+        kind: str,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        fields: np.ndarray,
+        multiplicity: np.ndarray,
+    ) -> np.ndarray:
+        """Apply the plan to one kind's aggregate rows; returns the new
+        per-row multiplicities (0 removes the row).
+
+        Each row stands for ``multiplicity[i]`` identical messages,
+        occupying consecutive indices in its edge's canonical order -
+        exactly the positions the per-message loop assigns to the same
+        traffic - so decisions agree bit-for-bit across the loops.
+        """
+        down = self.crashed(round_number)
+        new_mult = multiplicity.astype(np.int64, copy=True)
+        if down:
+            lost = np.isin(receivers, np.fromiter(down, dtype=np.int64))
+            if lost.any():
+                self.counters.crash_dropped += int(new_mult[lost].sum())
+                new_mult[lost] = 0
+        # Walk the rows edge by edge in row order (the canonical order);
+        # per edge, one vectorized fate call covers all its messages.
+        edge_rows: dict[tuple[int, int], list[int]] = {}
+        for row in range(len(senders)):
+            if new_mult[row] == 0:
+                continue
+            edge_rows.setdefault(
+                (int(senders[row]), int(receivers[row])), []
+            ).append(row)
+        for (sender, receiver), rows in edge_rows.items():
+            drop, dup, delay = self.plan.rates_for(sender, receiver)
+            counts = new_mult[rows]
+            total = int(counts.sum())
+            if drop == dup == delay == 0.0:
+                # Still advance the index counter: later traffic of the
+                # same edge must line up with the per-message loop.
+                self._fates(sender, receiver, kind, total)
+                continue
+            dropped, duplicated, delay_rounds = self._fates(
+                sender, receiver, kind, total
+            )
+            bounds = np.zeros(len(rows) + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            for i, row in enumerate(rows):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                n_dropped = int(dropped[lo:hi].sum())
+                n_duplicated = int(duplicated[lo:hi].sum())
+                slips = delay_rounds[lo:hi]
+                slipped = slips > 0
+                n_slipped = int(slipped.sum())
+                if n_slipped:
+                    row_fields = tuple(int(x) for x in fields[row])
+                    for slip in np.unique(slips[slipped]):
+                        count = int((slips == slip).sum())
+                        self._delayed_bulk.setdefault(
+                            round_number + int(slip), {}
+                        ).setdefault(kind, []).append(
+                            (sender, receiver, row_fields, count)
+                        )
+                    self.counters.delayed += n_slipped
+                self.counters.dropped += n_dropped
+                self.counters.duplicated += n_duplicated
+                new_mult[row] = (
+                    int(counts[i]) - n_dropped - n_slipped + n_duplicated
+                )
+        return new_mult
+
+    def take_delayed(
+        self, round_number: int
+    ) -> tuple[list[Message], dict[str, list[_DelayedRow]]]:
+        """Matured delayed traffic for this round.
+
+        Delayed messages are delivered unconditionally (they already
+        had their one fault) - unless their receiver is down *now*, in
+        which case they are lost to the crash.
+        """
+        messages = self._delayed_messages.pop(round_number, [])
+        bulk = self._delayed_bulk.pop(round_number, {})
+        down = self.crashed(round_number)
+        if down:
+            kept_messages = []
+            for message in messages:
+                if message.receiver in down:
+                    self.counters.crash_dropped += 1
+                else:
+                    kept_messages.append(message)
+            messages = kept_messages
+            kept_bulk: dict[str, list[_DelayedRow]] = {}
+            for kind, rows in bulk.items():
+                kept_rows = []
+                for sender, receiver, fields, count in rows:
+                    if receiver in down:
+                        self.counters.crash_dropped += count
+                    else:
+                        kept_rows.append((sender, receiver, fields, count))
+                if kept_rows:
+                    kept_bulk[kind] = kept_rows
+            bulk = kept_bulk
+        return messages, bulk
+
+    @property
+    def has_pending_delayed(self) -> bool:
+        """True while delayed traffic is still waiting to mature (the
+        scheduler must not declare global termination before then)."""
+        return bool(self._delayed_messages) or bool(self._delayed_bulk)
+
+    def latest_crash_end(self) -> int | None:
+        """Last round any crash window covers (None = a crash-stop
+        window never ends)."""
+        latest = 0
+        for window in self.plan.crashes:
+            if window.end is None:
+                return None
+            latest = max(latest, window.end)
+        return latest

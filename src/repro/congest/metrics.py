@@ -29,6 +29,11 @@ class RunMetrics:
     messages_per_round: list[int] = field(default_factory=list)
     bits_per_round: list[int] = field(default_factory=list)
     phase_rounds: dict[str, int] = field(default_factory=dict)
+    # Injected-fault accounting (dropped / duplicated / delayed /
+    # crash_dropped / crash_node_rounds); empty when the run had no
+    # FaultPlan.  Message/bit counters above always reflect *delivered*
+    # traffic, so a faulty run's totals exclude what the plan destroyed.
+    faults: dict[str, int] = field(default_factory=dict)
 
     def record_round(self, messages: list[Message]) -> None:
         """Fold one round's delivered messages into the totals."""
@@ -103,7 +108,7 @@ class RunMetrics:
 
     def summary(self) -> dict[str, float]:
         """Flat dict of headline numbers for reports."""
-        return {
+        numbers = {
             "rounds": self.rounds,
             "total_messages": self.total_messages,
             "total_bits": self.total_bits,
@@ -111,3 +116,6 @@ class RunMetrics:
             "max_bits_per_edge_round": self.max_bits_per_edge_round,
             "max_message_bits": self.max_message_bits,
         }
+        for name, value in self.faults.items():
+            numbers[f"faults_{name}"] = value
+        return numbers

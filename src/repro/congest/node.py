@@ -98,6 +98,18 @@ class RoundContext:
         for neighbor in sorted(self._neighbors):
             self.send(neighbor, kind, *fields)
 
+    def push_message(self, message: Message) -> None:
+        """Queue a pre-built :class:`Message` (the reliability layer
+        constructs its own envelopes - retransmissions and acks - and
+        ships them through here under the same neighbor and bandwidth
+        checks as :meth:`send`)."""
+        if message.receiver not in self._neighbors:
+            raise ProtocolError(
+                f"node {self._node_id} tried to send to non-neighbor "
+                f"{message.receiver}"
+            )
+        self._outbox.push(message)
+
 
 class SharedFastPathState:
     """Per-run coordination space for cooperating fast-path programs.
@@ -124,6 +136,11 @@ class SharedFastPathState:
     def __init__(self) -> None:
         self.slots: dict[str, object] = {}
         self.drivers: list[object] = []
+        # The run's FaultRuntime (None on fault-free runs).  Drivers
+        # consult it for the crashed-node set so they can suppress a
+        # down node's emissions exactly as the per-node loop does by
+        # skipping the node outright.
+        self.fault_runtime: object | None = None
 
     def register_driver(self, driver: object) -> None:
         """Register a cross-node driver; drivers run in registration

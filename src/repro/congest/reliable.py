@@ -1,0 +1,323 @@
+"""Per-edge reliable delivery: sequence numbers, acks, retransmission.
+
+The CONGEST model assumes reliable synchronous channels; a
+:class:`~repro.congest.faults.FaultPlan` breaks that assumption.  This
+module restores *exactly-once* delivery on top of lossy links with a
+classic sliding-window ARQ, sized to fit the model's bandwidth budget:
+
+* every reliable message carries a per-directed-edge **sequence number**
+  as its last field (one shared seq space per edge, across all kinds) -
+  ``O(log n)`` extra bits;
+* receivers **deduplicate** by seq and answer with cumulative +
+  selective **acks** (``cum`` plus a :data:`ACK_WINDOW`-bit bitmap), one
+  unreliable ack message per edge per round at most;
+* senders **retransmit** anything unacked for :data:`RETRANSMIT_AFTER`
+  rounds, under fixed per-edge slot caps so retransmissions count
+  against - and never exceed - the per-edge message budget.
+
+The protocol charges every retransmission and ack against the same
+``O(log n)``-bit, constant-messages-per-edge budget as fresh traffic
+(see ``docs/FAULTS.md``): reliability costs a constant factor, not an
+asymptotic one.
+
+Determinism: the ARQ consumes **no randomness**.  Its state evolves as
+a pure function of the delivered-message history, so the per-message
+loop and the vectorized fast path - which feed it the same history -
+keep byte-identical channel states.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Message
+
+#: Kind tag of ack messages (unreliable; a newer ack supersedes).
+KIND_ACK = "ack"
+
+#: Width of the selective-ack bitmap (seqs ``cum+1 .. cum+ACK_WINDOW``).
+#: 16 keeps the bitmap field under 18 bits, inside the 48-bit floor of
+#: the per-message budget; out-of-window receipts still get acked
+#: cumulatively once the holes before them fill.
+ACK_WINDOW = 16
+
+#: Rounds a sent message waits unacked before becoming due again.
+#: One network round-trip is 2 rounds; 4 gives the ack a round of slack
+#: plus headroom for ack slots lost to the fault plan itself.
+RETRANSMIT_AFTER = 4
+
+
+class OutLink:
+    """Sender half of one directed edge's reliable channel."""
+
+    __slots__ = ("next_seq", "unacked")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        # seq -> [kind, fields-without-seq, last_sent_round]
+        self.unacked: dict[int, list] = {}
+
+    def assign(
+        self, kind: str, fields: tuple[int, ...], round_number: int
+    ) -> int:
+        """Allocate the next seq for a message being sent this round."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.unacked[seq] = [kind, fields, round_number]
+        return seq
+
+    def touch(self, seq: int, round_number: int) -> None:
+        """Record a retransmission of ``seq`` this round."""
+        self.unacked[seq][2] = round_number
+
+    def apply_ack(self, cum: int, bitmap: int) -> int:
+        """Discard everything the ack covers; returns how many seqs
+        were newly confirmed."""
+        confirmed = 0
+        for seq in [s for s in self.unacked if s <= cum]:
+            del self.unacked[seq]
+            confirmed += 1
+        offset = 0
+        while bitmap:
+            if bitmap & 1:
+                seq = cum + 1 + offset
+                if self.unacked.pop(seq, None) is not None:
+                    confirmed += 1
+            bitmap >>= 1
+            offset += 1
+        return confirmed
+
+    def due(self, round_number: int) -> list[int]:
+        """Seqs whose last transmission has gone unacked too long."""
+        horizon = round_number - RETRANSMIT_AFTER
+        return sorted(
+            seq
+            for seq, (_, _, last_sent) in self.unacked.items()
+            if last_sent <= horizon
+        )
+
+
+class InLink:
+    """Receiver half of one directed edge's reliable channel."""
+
+    __slots__ = ("cum", "seen", "ack_due")
+
+    def __init__(self) -> None:
+        self.cum = -1  # highest seq with all predecessors delivered
+        self.seen: set[int] = set()  # delivered seqs above cum
+        self.ack_due = False
+
+    def accept(self, seq: int) -> bool:
+        """Register a delivery; True iff this seq is new (not a dup)."""
+        self.ack_due = True
+        if seq <= self.cum or seq in self.seen:
+            return False
+        self.seen.add(seq)
+        while self.cum + 1 in self.seen:
+            self.cum += 1
+            self.seen.discard(self.cum)
+        return True
+
+    def ack_fields(self) -> tuple[int, int]:
+        """Current ``(cum, bitmap)`` selective-ack payload."""
+        bitmap = 0
+        for seq in self.seen:
+            offset = seq - self.cum - 1
+            if 0 <= offset < ACK_WINDOW:
+                bitmap |= 1 << offset
+        return self.cum, bitmap
+
+
+class ChannelStats:
+    """Recovery-layer accounting, aggregated per node."""
+
+    __slots__ = ("retransmissions", "acks_sent", "duplicates_rejected")
+
+    def __init__(self) -> None:
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.duplicates_rejected = 0
+
+
+class ReliableChannel:
+    """One node's reliable channel endpoints to all its neighbors.
+
+    Both execution loops mutate the *same* channel objects: the
+    per-message loop from inside each node's round handler, the fast
+    path from the network-wide walk engine.  All methods are
+    deterministic given the delivered-message history.
+
+    Per-edge slot discipline (``flush``): per neighbor per round, at
+    most ``token_budget`` walk-token retransmissions, ``control_slots``
+    control messages (due retransmits first, then fresh queued sends),
+    and one ack.  With a bandwidth policy of ``walk_budget + 4``
+    messages per edge, the combined fresh + recovery traffic can never
+    violate the CONGEST cap.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Iterable[int],
+        token_budget: int,
+        token_kinds: frozenset[str],
+        latest_kinds: frozenset[str],
+        control_slots: int = 2,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors = tuple(sorted(neighbors))
+        self.token_budget = token_budget
+        self.token_kinds = token_kinds
+        self.latest_kinds = latest_kinds
+        self.control_slots = control_slots
+        self.out: dict[int, OutLink] = {v: OutLink() for v in self.neighbors}
+        self.inn: dict[int, InLink] = {v: InLink() for v in self.neighbors}
+        # Per-neighbor fresh control queue: list of [kind, fields].
+        self._queues: dict[int, list[list]] = {
+            v: [] for v in self.neighbors
+        }
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def register_sent(
+        self,
+        neighbor: int,
+        kind: str,
+        fields: tuple[int, ...],
+        round_number: int,
+    ) -> int:
+        """Sequence a message the caller ships itself *this round*
+        (fresh walk tokens, which the walk layer emits directly) and
+        remember it for retransmission.  Returns the seq to append."""
+        return self.out[neighbor].assign(kind, fields, round_number)
+
+    def queue(self, neighbor: int, kind: str, fields: tuple[int, ...]) -> None:
+        """Queue a reliable control message; ``flush`` sends it when a
+        slot frees up."""
+        self._queues[neighbor].append([kind, fields])
+
+    def queue_latest(
+        self, neighbor: int, kind: str, fields: tuple[int, ...]
+    ) -> None:
+        """Queue a monotone control message, superseding any *queued*
+        (not yet sequenced) message of the same kind - for kinds where
+        only the latest value matters (flood waves, death-counter
+        reports).  Copies already in flight keep retransmitting; the
+        receiver's handler is monotone, so a stale arrival is a no-op.
+        """
+        for entry in self._queues[neighbor]:
+            if entry[0] == kind:
+                entry[1] = fields
+                return
+        self._queues[neighbor].append([kind, fields])
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> tuple[int, ...] | None:
+        """Process one arriving message through the reliability layer.
+
+        Returns the payload fields (seq stripped) when the message is a
+        *fresh* reliable delivery; ``None`` for acks and duplicates
+        (both fully handled internally).
+        """
+        sender = message.sender
+        if sender not in self.out:
+            raise ProtocolError(
+                f"node {self.node_id} got reliable traffic from non-"
+                f"neighbor {sender}"
+            )
+        if message.kind == KIND_ACK:
+            cum, bitmap = message.fields
+            self.out[sender].apply_ack(cum, bitmap)
+            return None
+        seq = message.fields[-1]
+        if self.inn[sender].accept(seq):
+            return message.fields[:-1]
+        self.stats.duplicates_rejected += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-round flush
+    # ------------------------------------------------------------------
+    def flush(
+        self,
+        round_number: int,
+        push: Callable[[Message], None],
+    ) -> dict[int, int]:
+        """Send this round's recovery traffic.
+
+        Per neighbor, in order: due walk-token retransmissions (up to
+        ``token_budget``), control messages (due retransmits, then
+        fresh queued, up to ``control_slots`` combined), then one ack
+        if owed.  Returns the per-neighbor token-retransmission counts;
+        the walk layer subtracts them from its fresh-emission budget so
+        the edge's token slots are never oversubscribed.
+        """
+        token_retransmits: dict[int, int] = {}
+        for neighbor in self.neighbors:
+            link = self.out[neighbor]
+            due = link.due(round_number)
+            tokens_sent = 0
+            control_sent = 0
+            for seq in due:
+                kind, fields, _ = link.unacked[seq]
+                is_token = kind in self.token_kinds
+                if is_token:
+                    if tokens_sent >= self.token_budget:
+                        continue
+                elif control_sent >= self.control_slots:
+                    continue
+                push(
+                    Message(
+                        self.node_id, neighbor, kind, fields + (seq,)
+                    )
+                )
+                link.touch(seq, round_number)
+                self.stats.retransmissions += 1
+                if is_token:
+                    tokens_sent += 1
+                else:
+                    control_sent += 1
+            queue = self._queues[neighbor]
+            while queue and control_sent < self.control_slots:
+                kind, fields = queue.pop(0)
+                seq = link.assign(kind, fields, round_number)
+                push(
+                    Message(
+                        self.node_id, neighbor, kind, fields + (seq,)
+                    )
+                )
+                control_sent += 1
+            inlink = self.inn[neighbor]
+            if inlink.ack_due:
+                cum, bitmap = inlink.ack_fields()
+                push(
+                    Message(self.node_id, neighbor, KIND_ACK, (cum, bitmap))
+                )
+                inlink.ack_due = False
+                self.stats.acks_sent += 1
+            if tokens_sent:
+                token_retransmits[neighbor] = tokens_sent
+        return token_retransmits
+
+    # ------------------------------------------------------------------
+    # Drain / introspection
+    # ------------------------------------------------------------------
+    @property
+    def unacked_count(self) -> int:
+        return sum(len(link.unacked) for link in self.out.values())
+
+    @property
+    def queued_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is queued, in flight, or owed an ack."""
+        if self.queued_count or self.unacked_count:
+            return False
+        return not any(link.ack_due for link in self.inn.values())

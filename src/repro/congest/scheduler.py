@@ -19,7 +19,13 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.congest.errors import ConfigError, RoundLimitExceeded
+from repro.congest.errors import (
+    ConfigError,
+    FaultInjectionError,
+    RoundLimitExceeded,
+    UnrecoverableLossError,
+)
+from repro.congest.faults import FaultPlan, FaultRuntime
 from repro.congest.message import Message
 from repro.congest.metrics import RunMetrics
 from repro.congest.node import (
@@ -49,6 +55,10 @@ class SimulationResult:
     # True when the run used the vectorized fast path (aggregate per-edge
     # exchange instead of per-message dispatch).
     fast_path: bool = False
+    # Why the fast path was not used (empty on fast-path runs): the
+    # human-readable reasons from eligibility selection, so callers can
+    # tell an intentional slow-path run from a silent degradation.
+    fallback_reasons: tuple[str, ...] = ()
 
     def program(self, node_id: int) -> NodeProgram:
         return self.programs[node_id]
@@ -83,22 +93,32 @@ class Simulator:
         is undefined across components).
     drop_rate:
         Probability that any individual message is silently lost in
-        transit.  The CONGEST model assumes reliable synchronous
-        channels - this knob exists for failure-injection experiments
-        demonstrating *how* the protocols depend on that assumption
-        (e.g. lost walk tokens stall the termination detector, which
-        surfaces as :class:`RoundLimitExceeded` rather than a silently
-        wrong answer).
+        transit - shorthand for ``faults=FaultPlan.from_drop_rate(...)``
+        with a seed derived from the simulator seed.  The CONGEST model
+        assumes reliable synchronous channels; protocols not written
+        for loss fail *detectably* under this knob (e.g. lost walk
+        tokens stall the termination detector, surfacing as
+        :class:`UnrecoverableLossError` at the round limit) rather than
+        silently wrong.
+    faults:
+        A full :class:`~repro.congest.faults.FaultPlan` - seeded
+        per-edge drop/duplicate/delay schedules and per-node crash
+        windows.  Applied identically by both execution loops at
+        delivery time; injected-fault counts land in
+        ``metrics.faults``.  Mutually exclusive with ``drop_rate``.
     vectorized:
         Fast-path selection.  ``None`` (default) auto-selects: the
         vectorized loop runs when every program is a
         :class:`VectorizedProgram` and nothing demands per-message
-        fidelity (``record_messages``, a tracer, or ``drop_rate`` all
-        force the per-message loop).  ``False`` always runs the
-        per-message loop; ``True`` requires the fast path and raises
-        :class:`ConfigError` when it is unavailable.  Both loops produce
-        identical results for the same seed (tested equivalence, see
-        ``tests/test_walks_batched.py``).
+        fidelity (``record_messages`` or a tracer force the per-message
+        loop; fault injection does *not* - the fast path applies the
+        same seeded fault schedule to its aggregate arrays).
+        ``False`` always runs the per-message loop; ``True`` requires
+        the fast path and raises :class:`ConfigError` when it is
+        unavailable.  Both loops produce identical results for the same
+        seed and fault plan (tested equivalence, see
+        ``tests/test_walks_batched.py`` and
+        ``tests/test_failure_injection.py``).
     """
 
     def __init__(
@@ -112,6 +132,7 @@ class Simulator:
         tracer: Tracer | None = None,
         require_connected: bool = True,
         drop_rate: float = 0.0,
+        faults: FaultPlan | None = None,
         vectorized: bool | None = None,
     ) -> None:
         if graph.num_nodes == 0:
@@ -126,8 +147,25 @@ class Simulator:
             raise ConfigError("graph must be connected")
         if max_rounds < 1:
             raise ConfigError("max_rounds must be >= 1")
-        if not 0.0 <= drop_rate < 1.0:
-            raise ConfigError("drop_rate must be in [0, 1)")
+        if drop_rate and faults is not None:
+            raise ConfigError(
+                "pass either drop_rate (shorthand) or faults (full plan), "
+                "not both"
+            )
+        if faults is None:
+            # Validates the rate (FaultInjectionError is a ConfigError).
+            # The plan seed derives from the simulator seed so that, as
+            # with the old bare-float knob, reseeding the run reseeds
+            # the losses.
+            plan_seed = 0xD509 if seed is None else (seed ^ 0xD509)
+            faults = FaultPlan.from_drop_rate(drop_rate, seed=plan_seed)
+        for window in faults.crashes:
+            if not graph.has_node(window.node):
+                raise FaultInjectionError(
+                    f"crash window names node {window.node}, which is not "
+                    "in the graph"
+                )
+        self.faults = faults
         self.drop_rate = drop_rate
         self.graph = graph
         self.policy = policy or BandwidthPolicy(n=graph.num_nodes)
@@ -166,8 +204,9 @@ class Simulator:
             reasons.append("record_messages needs materialized messages")
         if not isinstance(self.tracer, NullTracer):
             reasons.append("a tracer observes individual deliveries")
-        if self.drop_rate > 0:
-            reasons.append("drop_rate injects per-message failures")
+        # Fault injection deliberately does NOT appear here: the fast
+        # path applies the same seeded FaultPlan to its aggregate
+        # arrays (see FaultRuntime), so faulty runs keep the speedup.
         return reasons
 
     def run(self) -> SimulationResult:
@@ -185,7 +224,9 @@ class Simulator:
             If termination is not reached within ``max_rounds``.
         """
         programs = self._build_programs()
-        if self.vectorized is not False:
+        if self.vectorized is False:
+            fallback_reasons = ("vectorized=False requested",)
+        else:
             reasons = self._bulk_reasons_against(programs)
             if not reasons:
                 return self._run_bulk(programs)
@@ -194,14 +235,12 @@ class Simulator:
                     "vectorized=True but the fast path is unavailable: "
                     + "; ".join(reasons)
                 )
+            fallback_reasons = tuple(reasons)
         metrics = RunMetrics()
         message_log: list[list[Message]] = []
         outbox = RoundOutbox(self.policy)
         order = self.graph.canonical_order()
-        drop_rng = None
-        if self.drop_rate > 0:
-            drop_seed = None if self._seed is None else (self._seed, 0xD509)
-            drop_rng = np.random.default_rng(drop_seed)
+        fault_rt = None if self.faults.is_trivial else FaultRuntime(self.faults)
 
         # Round 0: on_start, no deliveries.
         for node in order:
@@ -214,24 +253,33 @@ class Simulator:
         round_number = 0
         while True:
             all_halted = all(p.halted for p in programs.values())
-            if all_halted and not in_flight:
+            pending_delayed = (
+                fault_rt is not None and fault_rt.has_pending_delayed
+            )
+            if all_halted and not in_flight and not pending_delayed:
                 break
             round_number += 1
             if round_number > self.max_rounds:
-                raise RoundLimitExceeded(
+                error_cls = (
+                    UnrecoverableLossError
+                    if fault_rt is not None
+                    else RoundLimitExceeded
+                )
+                raise error_cls(
                     f"no termination after {self.max_rounds} rounds "
                     f"({sum(p.halted for p in programs.values())}/"
                     f"{len(programs)} nodes halted, "
                     f"{len(in_flight)} messages in flight)"
                 )
-            # Deliver last round's messages (minus injected losses).
-            if drop_rng is not None and in_flight:
-                kept = drop_rng.random(len(in_flight)) >= self.drop_rate
-                in_flight = [
-                    message
-                    for message, keep in zip(in_flight, kept)
-                    if keep
-                ]
+            # Deliver last round's messages through the fault plan.
+            crashed_now: frozenset[int] = frozenset()
+            if fault_rt is not None:
+                crashed_now = fault_rt.crashed(round_number)
+                fault_rt.note_crash_rounds(len(crashed_now))
+                fault_rt.begin_round(round_number)
+                in_flight = fault_rt.filter_messages(round_number, in_flight)
+                matured, _ = fault_rt.take_delayed(round_number)
+                in_flight = in_flight + matured
             inboxes: dict[int, list[Message]] = {node: [] for node in order}
             for message in in_flight:
                 inboxes[message.receiver].append(message)
@@ -247,6 +295,8 @@ class Simulator:
                 message_log.append(in_flight)
             # Every node acts each round; receiving mail un-halts a node.
             for node in order:
+                if node in crashed_now:
+                    continue  # down: executes nothing, sends nothing
                 program = programs[node]
                 inbox = inboxes[node]
                 if program.halted and not inbox:
@@ -259,11 +309,14 @@ class Simulator:
                 program.on_round(ctx, inbox)
             in_flight = outbox.drain()
 
+        if fault_rt is not None:
+            metrics.faults = fault_rt.counters.summary()
         return SimulationResult(
             programs=programs,
             metrics=metrics,
             tracer=self.tracer,
             message_log=message_log,
+            fallback_reasons=fallback_reasons,
         )
 
     def _run_bulk(
@@ -292,6 +345,8 @@ class Simulator:
         bulk_outbox = BulkOutbox(self.policy)
         order = self.graph.canonical_order()
         shared = SharedFastPathState()
+        fault_rt = None if self.faults.is_trivial else FaultRuntime(self.faults)
+        shared.fault_runtime = fault_rt
         # One context per node, reused across rounds (only the round
         # number changes); constructing ~n of these per round would be
         # measurable overhead at scale.
@@ -332,16 +387,43 @@ class Simulator:
         round_number = 0
         while True:
             all_halted = all(p.halted for p in programs.values())
-            if all_halted and not in_flight and not bulk_in_flight:
+            pending_delayed = (
+                fault_rt is not None and fault_rt.has_pending_delayed
+            )
+            if (
+                all_halted
+                and not in_flight
+                and not bulk_in_flight
+                and not pending_delayed
+            ):
                 break
             round_number += 1
             if round_number > self.max_rounds:
-                raise RoundLimitExceeded(
+                error_cls = (
+                    UnrecoverableLossError
+                    if fault_rt is not None
+                    else RoundLimitExceeded
+                )
+                raise error_cls(
                     f"no termination after {self.max_rounds} rounds "
                     f"({sum(p.halted for p in programs.values())}/"
                     f"{len(programs)} nodes halted, "
                     f"{len(in_flight) + bulk_in_flight.total_messages} "
                     "messages in flight)"
+                )
+            crashed_now: frozenset[int] = frozenset()
+            if fault_rt is not None:
+                # Same application order as the per-message loop:
+                # control messages first, then bulk rows (indices
+                # continue across the two), then matured delayed
+                # traffic; the replacement traffic numbers reflect what
+                # was actually delivered.
+                crashed_now = fault_rt.crashed(round_number)
+                fault_rt.note_crash_rounds(len(crashed_now))
+                fault_rt.begin_round(round_number)
+                in_flight = fault_rt.filter_messages(round_number, in_flight)
+                in_flight, bulk_in_flight = bulk_in_flight.apply_faults(
+                    fault_rt, round_number, n, in_flight
                 )
             metrics.record_round_aggregate(bulk_in_flight.traffic)
             # Divert driver-claimed kinds before the per-receiver split;
@@ -359,6 +441,8 @@ class Simulator:
                 inboxes.setdefault(message.receiver, []).append(message)
             bulk_inboxes = bulk_in_flight.group_by_receiver()
             for node in order:
+                if node in crashed_now:
+                    continue  # down: executes nothing, sends nothing
                 program = programs[node]
                 inbox = inboxes.get(node)
                 bulk = bulk_inboxes.get(node)
@@ -384,6 +468,8 @@ class Simulator:
             in_flight = outbox.drain()
             bulk_in_flight = bulk_outbox.drain(n, in_flight)
 
+        if fault_rt is not None:
+            metrics.faults = fault_rt.counters.summary()
         return SimulationResult(
             programs=programs,
             metrics=metrics,

@@ -19,8 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.congest.errors import CongestViolation, ConfigError
 from repro.congest.message import TAG_BITS, Message, int_bits_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.congest.faults import FaultRuntime
 
 
 @dataclass(frozen=True)
@@ -192,6 +197,91 @@ class BulkRound:
         self._row_bits.pop(kind)
         return batch.senders, receivers, batch.fields, batch.multiplicity
 
+    def apply_faults(
+        self,
+        runtime: "FaultRuntime",
+        round_number: int,
+        n: int,
+        control_messages: list[Message],
+    ) -> tuple[list[Message], "BulkRound"]:
+        """Run this round's aggregate traffic through the fault plan.
+
+        ``control_messages`` must already be fault-filtered (the
+        scheduler does that first; per-edge fault indices continue from
+        control into bulk, fixing the canonical order).  Filters every
+        kind's rows, folds in traffic *delayed into* this round, and
+        recomputes the delivered :class:`RoundTraffic` - so RunMetrics
+        counts what actually arrived, exactly as the per-message loop's
+        post-filter accounting does.  Returns the final control list
+        (matured delayed messages appended) and the replacement round.
+
+        No budget enforcement here: senders respected the CONGEST cap
+        at drain time; duplication and delay are *adversary* actions,
+        and their pile-ups at delivery are the adversary's, not the
+        program's.
+        """
+        kinds: dict[str, BulkKindInbox] = {}
+        receivers_by_kind: dict[str, np.ndarray] = {}
+        row_bits_by_kind: dict[str, np.ndarray] = {}
+        for kind, batch in self._kinds.items():
+            receivers = self._receivers[kind]
+            new_mult = runtime.filter_bulk(
+                round_number,
+                kind,
+                batch.senders,
+                receivers,
+                batch.fields,
+                batch.multiplicity,
+            )
+            keep = new_mult > 0
+            if keep.any():
+                kinds[kind] = BulkKindInbox(
+                    senders=batch.senders[keep],
+                    fields=batch.fields[keep],
+                    multiplicity=new_mult[keep],
+                )
+                receivers_by_kind[kind] = receivers[keep]
+                row_bits_by_kind[kind] = self._row_bits[kind][keep]
+        matured_messages, matured_bulk = runtime.take_delayed(round_number)
+        for kind, rows in matured_bulk.items():
+            senders = np.array([r[0] for r in rows], dtype=np.int64)
+            receivers = np.array([r[1] for r in rows], dtype=np.int64)
+            fields = np.array([r[2] for r in rows], dtype=np.int64)
+            if fields.ndim == 1:  # all-empty payloads
+                fields = fields.reshape(len(rows), 0)
+            multiplicity = np.array([r[3] for r in rows], dtype=np.int64)
+            row_bits = TAG_BITS + int_bits_array(fields).sum(axis=1)
+            if kind in kinds:
+                old = kinds[kind]
+                kinds[kind] = BulkKindInbox(
+                    senders=np.concatenate((old.senders, senders)),
+                    fields=np.concatenate((old.fields, fields)),
+                    multiplicity=np.concatenate(
+                        (old.multiplicity, multiplicity)
+                    ),
+                )
+                receivers_by_kind[kind] = np.concatenate(
+                    (receivers_by_kind[kind], receivers)
+                )
+                row_bits_by_kind[kind] = np.concatenate(
+                    (row_bits_by_kind[kind], row_bits)
+                )
+            else:
+                kinds[kind] = BulkKindInbox(
+                    senders=senders,
+                    fields=fields,
+                    multiplicity=multiplicity,
+                )
+                receivers_by_kind[kind] = receivers
+                row_bits_by_kind[kind] = row_bits
+        control = control_messages + matured_messages
+        traffic = _delivered_traffic(
+            kinds, receivers_by_kind, row_bits_by_kind, control, n
+        )
+        return control, BulkRound(
+            kinds, receivers_by_kind, row_bits_by_kind, traffic
+        )
+
     def group_by_receiver(self) -> dict[int, BulkInbox]:
         """Split the round's traffic into per-node bulk inboxes."""
         inboxes: dict[int, BulkInbox] = {}
@@ -213,6 +303,58 @@ class BulkRound:
                     multiplicity=batch.multiplicity[rows],
                 )
         return inboxes
+
+
+def _delivered_traffic(
+    kinds: dict[str, BulkKindInbox],
+    receivers_by_kind: dict[str, np.ndarray],
+    row_bits_by_kind: dict[str, np.ndarray],
+    control_messages: list[Message],
+    n: int,
+) -> RoundTraffic:
+    """Accounting of one (post-fault) delivered round, no enforcement."""
+    edge_codes_parts: list[np.ndarray] = []
+    edge_messages_parts: list[np.ndarray] = []
+    edge_bits_parts: list[np.ndarray] = []
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    for kind, batch in kinds.items():
+        receivers = receivers_by_kind[kind]
+        row_bits = row_bits_by_kind[kind]
+        edge_codes_parts.append(batch.senders * n + receivers)
+        edge_messages_parts.append(batch.multiplicity)
+        edge_bits_parts.append(batch.multiplicity * row_bits)
+        total_messages += int(batch.multiplicity.sum())
+        total_bits += int((batch.multiplicity * row_bits).sum())
+        max_message_bits = max(max_message_bits, int(row_bits.max()))
+    if control_messages:
+        codes = np.array(
+            [m.sender * n + m.receiver for m in control_messages],
+            dtype=np.int64,
+        )
+        bits = np.array([m.bits for m in control_messages], dtype=np.int64)
+        edge_codes_parts.append(codes)
+        edge_messages_parts.append(np.ones(len(codes), dtype=np.int64))
+        edge_bits_parts.append(bits)
+        total_messages += len(control_messages)
+        total_bits += int(bits.sum())
+        max_message_bits = max(max_message_bits, int(bits.max()))
+    if not edge_codes_parts:
+        return RoundTraffic()
+    codes = np.concatenate(edge_codes_parts)
+    _, inverse = np.unique(codes, return_inverse=True)
+    edge_messages = np.bincount(
+        inverse, weights=np.concatenate(edge_messages_parts)
+    )
+    edge_bits = np.bincount(inverse, weights=np.concatenate(edge_bits_parts))
+    return RoundTraffic(
+        total_messages=total_messages,
+        total_bits=total_bits,
+        max_edge_messages=int(edge_messages.max()),
+        max_edge_bits=int(edge_bits.max()),
+        max_message_bits=max_message_bits,
+    )
 
 
 _EMPTY_ROUND = BulkRound({}, {}, {}, RoundTraffic())

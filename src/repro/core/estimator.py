@@ -8,6 +8,8 @@ share conventions, so their outputs are directly comparable.
 
 from __future__ import annotations
 
+from repro.congest.errors import FaultInjectionError
+from repro.congest.faults import FaultPlan
 from repro.congest.scheduler import Simulator
 from repro.congest.transport import BandwidthPolicy
 from repro.core.montecarlo import estimate_rwbc_montecarlo
@@ -27,14 +29,24 @@ __all__ = [
 ]
 
 
-def default_max_rounds(n: int, parameters: WalkParameters) -> int:
+def default_max_rounds(
+    n: int,
+    parameters: WalkParameters,
+    reliable: bool = False,
+    setup_slack: int = 6,
+) -> int:
     """A generous round limit: setup + congestion-inflated counting +
     exchange, with slack.  Exceeding it indicates a protocol bug, not a
-    slow run."""
+    slow run.  Reliable (fault-tolerant) runs get a stretched setup
+    (``2 * setup_slack * n`` rounds before launch) and an extra latency
+    factor for retransmission round-trips."""
     counting_bound = 40 * (
         parameters.walks_per_source * n + parameters.length
     )
-    return 1000 + 4 * n + counting_bound
+    base = 1000 + 4 * n + counting_bound
+    if reliable:
+        return 8 * base + 16 * setup_slack * n
+    return base
 
 
 def estimate_rwbc_distributed(
@@ -52,6 +64,7 @@ def estimate_rwbc_distributed(
     survival_alpha: float | None = None,
     split_sampling: bool = False,
     vectorized: bool | None = None,
+    faults: FaultPlan | None = None,
 ) -> DistributedRWBCResult:
     """Run the paper's full distributed algorithm on the CONGEST simulator.
 
@@ -81,6 +94,16 @@ def estimate_rwbc_distributed(
         falls back to per-message dispatch when ``record_messages`` is
         set), ``False`` forces per-message dispatch, ``True`` requires
         the fast path.  Same seed, same result either way.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultPlan`.  A non-trivial
+        plan switches the protocol to *reliable* mode: sequence-numbered
+        walk tokens with ack/retransmit recovery, a loss-tolerant
+        termination convergecast, and a stretched flood-based setup -
+        the run completes with the same statistical guarantees despite
+        the injected drops, duplicates, delays, and crash-recover
+        windows.  Crash windows must end (no crash-stop: a node that
+        never returns can never launch or certify its walks) and must
+        not cover the launch round ``2 * setup_slack * n``.
     """
     if graph.num_nodes < 2:
         raise GraphError("need at least 2 nodes")
@@ -89,6 +112,7 @@ def estimate_rwbc_distributed(
     n = relabeled.num_nodes
     if parameters is None:
         parameters = default_parameters(n)
+    reliable = faults is not None and not faults.is_trivial
     config = ProtocolConfig(
         length=parameters.length,
         walks_per_source=parameters.walks_per_source,
@@ -99,17 +123,26 @@ def estimate_rwbc_distributed(
         normalized=normalized,
         survival_alpha=survival_alpha,
         split_sampling=split_sampling,
+        reliable=reliable,
     )
+    if reliable:
+        _validate_crash_windows(faults, n, config.setup_slack)
     if bandwidth is None:
-        bandwidth = BandwidthPolicy(n=n, messages_per_edge=walk_budget + 2)
+        # Reliable mode needs two extra per-edge slots: one for the ack
+        # and one so token retransmissions plus control retransmissions
+        # fit alongside the fresh traffic of a congested round.
+        extra = 4 if reliable else 2
+        bandwidth = BandwidthPolicy(n=n, messages_per_edge=walk_budget + extra)
     simulator = Simulator(
         relabeled,
         make_protocol_factory(config),
         policy=bandwidth,
         seed=seed,
-        max_rounds=max_rounds or default_max_rounds(n, parameters),
+        max_rounds=max_rounds
+        or default_max_rounds(n, parameters, reliable, config.setup_slack),
         record_messages=record_messages,
         vectorized=vectorized,
+        faults=faults,
     )
     result = simulator.run()
 
@@ -138,6 +171,15 @@ def estimate_rwbc_distributed(
             inverse[index]: programs[index].noise_floor
             for index in range(n)
         }
+    recovery = None
+    if reliable:
+        recovery = {"retransmissions": 0, "acks_sent": 0,
+                    "duplicates_rejected": 0}
+        for index in range(n):
+            stats = programs[index]._channel.stats
+            recovery["retransmissions"] += stats.retransmissions
+            recovery["acks_sent"] += stats.acks_sent
+            recovery["duplicates_rejected"] += stats.duplicates_rejected
     return DistributedRWBCResult(
         betweenness=betweenness,
         target=inverse[any_program.target],
@@ -149,7 +191,39 @@ def estimate_rwbc_distributed(
         noise_floor=floor,
         edge_betweenness=edge_values,
         message_log=result.message_log,
+        recovery=recovery,
+        fallback_reasons=result.fallback_reasons,
     )
+
+
+def _validate_crash_windows(
+    plan: FaultPlan, n: int, setup_slack: int
+) -> None:
+    """Reject crash schedules the protocol cannot survive.
+
+    The counting phase launches globally at round ``2 * setup_slack * n``
+    from the frozen flood tree.  A node crashed *through* that round
+    launches late on recovery (the per-message path supports this), but
+    the vectorized engine requires all ``n`` nodes at its one-shot
+    finalization, and a node that never recovers can never launch its
+    walks or certify their deaths - the expected global death count is
+    then unreachable.  Both shapes are configuration errors, caught here
+    rather than as a round-limit timeout deep into the run.
+    """
+    launch_round = 2 * setup_slack * n
+    for window in plan.crashes:
+        if window.end is None:
+            raise FaultInjectionError(
+                f"crash-stop window on node {window.node} never ends: the "
+                "protocol needs every node back to count its walk deaths "
+                "(use a finite end for crash-recover)"
+            )
+        if window.covers(launch_round):
+            raise FaultInjectionError(
+                f"crash window [{window.start}, {window.end}) on node "
+                f"{window.node} covers the counting launch round "
+                f"{launch_round}; shift the window or adjust setup_slack"
+            )
 
 
 def estimate_alpha_cfbc_distributed(

@@ -44,7 +44,13 @@ from repro.congest.node import (
     RoundContext,
     VectorizedProgram,
 )
-from repro.congest.primitives.flood import FloodMaxBFS, FloodMaxState
+from repro.congest.primitives.flood import (
+    KIND_ADOPT,
+    KIND_FLOOD,
+    FloodMaxBFS,
+    FloodMaxState,
+)
+from repro.congest.reliable import KIND_ACK, ReliableChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.congest.node import BulkRoundContext
@@ -99,6 +105,27 @@ class ProtocolConfig:
         per walk token and one extra integer per exchange message - both
         still ``O(log n)``.  Requires even ``walks_per_source``.  Nodes
         then also expose ``betweenness_debiased`` and ``noise_floor``.
+    reliable:
+        Run the loss-tolerant variant of the protocol: every control and
+        walk message travels through a per-edge ARQ
+        (:mod:`repro.congest.reliable`), the setup timeline stretches by
+        ``setup_slack`` to absorb retransmission latency, the done wave
+        floods over all edges instead of only tree edges, and the
+        exchange phase becomes self-paced (each node ships its next
+        unsent count column each round and finishes when everything is
+        sent, acked, and received).  Requires a bandwidth policy with at
+        least ``walk_budget + 4`` messages per edge.  Fault-free
+        reliable runs produce the same estimates as unreliable runs up
+        to walk-randomness scheduling; under a
+        :class:`~repro.congest.faults.FaultPlan` with drops, duplicates,
+        delays, or crash-recover windows, the reliable protocol still
+        terminates with exact counting (exactly-once token delivery).
+    setup_slack:
+        Reliable mode only: parents/degrees are announced at round
+        ``setup_slack * n`` and walks launch at ``2 * setup_slack * n``,
+        giving the flood and adopt waves time to win against message
+        loss (a dropped control message retries every
+        :data:`~repro.congest.reliable.RETRANSMIT_AFTER` rounds).
     """
 
     length: int
@@ -110,6 +137,8 @@ class ProtocolConfig:
     normalized: bool = True
     survival_alpha: float | None = None
     split_sampling: bool = False
+    reliable: bool = False
+    setup_slack: int = 6
 
     def __post_init__(self) -> None:
         if self.length < 1:
@@ -118,6 +147,8 @@ class ProtocolConfig:
             raise ProtocolError("walks_per_source must be >= 1")
         if self.walk_budget < 1:
             raise ProtocolError("walk_budget must be >= 1")
+        if self.setup_slack < 2:
+            raise ProtocolError("setup_slack must be >= 2")
         if self.survival_alpha is not None and not (
             0.0 < self.survival_alpha < 1.0
         ):
@@ -131,6 +162,40 @@ class ProtocolConfig:
     def launching_nodes(self) -> str:
         """Documentation helper: who launches walks in this mode."""
         return "all nodes" if self.survival_alpha is not None else "all but t"
+
+
+class _ReliableCtx:
+    """Context adapter that reroutes a primitive's control sends into
+    the node's :class:`ReliableChannel` queues.
+
+    The flood/BFS logic is written against the plain ``ctx.send`` /
+    ``ctx.broadcast`` surface; in reliable mode its messages must be
+    sequenced and retransmitted instead of shipped raw.  Kinds in the
+    channel's ``latest_kinds`` (flood waves, monotone counters) use
+    ``queue_latest`` so a superseded value never wastes a slot.
+    """
+
+    __slots__ = ("_channel", "_neighbors", "round_number")
+
+    def __init__(
+        self,
+        channel: ReliableChannel,
+        neighbors: tuple[int, ...],
+        round_number: int,
+    ) -> None:
+        self._channel = channel
+        self._neighbors = neighbors
+        self.round_number = round_number
+
+    def send(self, neighbor: int, kind: str, *fields: int) -> None:
+        if kind in self._channel.latest_kinds:
+            self._channel.queue_latest(neighbor, kind, tuple(fields))
+        else:
+            self._channel.queue(neighbor, kind, tuple(fields))
+
+    def broadcast(self, kind: str, *fields: int) -> None:
+        for neighbor in self._neighbors:
+            self.send(neighbor, kind, *fields)
 
 
 class RWBCNodeProgram(VectorizedProgram):
@@ -182,6 +247,21 @@ class RWBCNodeProgram(VectorizedProgram):
             for j, neighbor in enumerate(info.neighbors)
         }
         self._exchange_start: int | None = None
+        # Reliable-mode state (all inert when config.reliable is False).
+        self._channel: ReliableChannel | None = None
+        self._adopters: set[int] = set()
+        self._early_terms: list[tuple[int, int]] = []
+        self._announced = False
+        self._next_column = 0
+        self._xch_received: dict[int, int] = dict.fromkeys(info.neighbors, 0)
+        if config.reliable:
+            self._channel = ReliableChannel(
+                node_id=info.node_id,
+                neighbors=info.neighbors,
+                token_budget=config.walk_budget,
+                token_kinds=frozenset({KIND_WALK, KIND_WALK_BATCH}),
+                latest_kinds=frozenset({KIND_FLOOD, KIND_TERM, KIND_DONE}),
+            )
         # Outputs.
         self.betweenness: float | None = None
         self.betweenness_debiased: float | None = None
@@ -197,7 +277,12 @@ class RWBCNodeProgram(VectorizedProgram):
     # Round dispatch
     # ------------------------------------------------------------------
     def on_start(self, ctx: RoundContext) -> None:
-        self._flood.start(ctx)
+        if self._channel is None:
+            self._flood.start(ctx)
+            return
+        rctx = _ReliableCtx(self._channel, self.neighbors, ctx.round_number)
+        self._flood.start(rctx)
+        self._channel.flush(ctx.round_number, ctx.push_message)
 
     def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
         if self.phase == PHASE_SETUP:
@@ -206,8 +291,9 @@ class RWBCNodeProgram(VectorizedProgram):
             self._counting_round(ctx, inbox)
         elif self.phase == PHASE_EXCHANGE:
             self._exchange_round(ctx, inbox)
-        else:  # PHASE_DONE: ignore stragglers (none are expected).
-            self.halt()
+        else:  # PHASE_DONE: ignore stragglers (none are expected
+            # fault-free; under recovery, re-ack so peers stop retrying).
+            self._done_round(ctx, inbox)
 
     def on_bulk_round(
         self,
@@ -224,7 +310,26 @@ class RWBCNodeProgram(VectorizedProgram):
         elif self.phase == PHASE_EXCHANGE:
             self._exchange_round(ctx, inbox, bulk)
         else:
-            self.halt()
+            self._done_round(ctx, inbox)
+
+    def _done_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """A halted node woken by late traffic.  In reliable mode the
+        arrivals are peer retransmissions whose acks got lost; running
+        them through the channel re-marks the acks due, and the flush
+        sends them so the peers can drain and halt too."""
+        if self._channel is not None and inbox:
+            for message in inbox:
+                payload = self._channel.receive(message)
+                if payload is not None and message.kind in (
+                    KIND_WALK,
+                    KIND_WALK_BATCH,
+                ):
+                    raise ProtocolError(
+                        "fresh walk token arrived after finish at node "
+                        f"{self.node_id}: recovery lost a death"
+                    )
+            self._channel.flush(ctx.round_number, ctx.push_message)
+        self.halt()
 
     @property
     def bulk_idle(self) -> bool:
@@ -240,6 +345,9 @@ class RWBCNodeProgram(VectorizedProgram):
     # Phase 1: setup (leader election, tree, degrees)
     # ------------------------------------------------------------------
     def _setup_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        if self._channel is not None:
+            self._setup_round_reliable(ctx, inbox)
+            return
         n = self.info.n
         r = ctx.round_number
         if r <= n:
@@ -262,6 +370,87 @@ class RWBCNodeProgram(VectorizedProgram):
                 f"node {self.node_id}: expected {self.degree} degree "
                 f"reports, got {len(self._neighbor_degrees)}"
             )
+        self._launch_counting(ctx, r)
+
+    def _setup_round_reliable(
+        self, ctx: RoundContext, inbox: list[Message]
+    ) -> None:
+        """Loss-tolerant setup: same flood/adopt/degree dance, but every
+        control message rides the ARQ and the timeline is stretched -
+        parents and degrees go out at ``setup_slack * n`` and walks
+        launch at ``2 * setup_slack * n``, leaving every wave
+        ``RETRANSMIT_AFTER``-round retries worth of slack.  A node that
+        was crashed through one of the milestone rounds performs the
+        missed step on its first live round after it (its own control
+        messages were queued, not lost, and arriving floods were held
+        unacked by the ARQ until delivered)."""
+        n = self.info.n
+        r = ctx.round_number
+        announce = self.config.setup_slack * n
+        launch = 2 * announce
+        flood_mail: list[Message] = []
+        for message in inbox:
+            kind = message.kind
+            if kind == KIND_ACK:
+                self._channel.receive(message)
+                continue
+            if kind in (KIND_WALK, KIND_WALK_BATCH):
+                # Not launched yet: leave the token unacked so the
+                # sender keeps retransmitting; it lands once this node
+                # reaches the counting phase.
+                continue
+            payload = self._channel.receive(message)
+            if payload is None:
+                continue
+            if kind == KIND_FLOOD:
+                flood_mail.append(
+                    Message(message.sender, self.node_id, KIND_FLOOD, payload)
+                )
+            elif kind == KIND_ADOPT:
+                self._adopters.add(message.sender)
+            elif kind == KIND_DEGREE:
+                self._neighbor_degrees[message.sender] = payload[0]
+            elif kind == KIND_TERM:
+                # Possible only when this node was crashed through the
+                # launch round: a tree child is already counting and
+                # reporting.  The counter does not exist yet - hold the
+                # report and replay it at launch.
+                self._early_terms.append((message.sender, payload[0]))
+            # done/xch cannot arrive while this node is in setup: the
+            # done wave needs every launched walk dead, which cannot
+            # happen before this node launches its own.
+        rctx = _ReliableCtx(self._channel, self.neighbors, r)
+        if not self._announced:
+            self._flood.step(rctx, flood_mail)
+            if r >= announce:
+                # Normally exactly round ``announce``; later only when
+                # this node was crashed through it.
+                self._flood.announce_parent(rctx)
+                for neighbor in self.neighbors:
+                    self._channel.queue(neighbor, KIND_DEGREE, (self.degree,))
+                self._announced = True
+        if r >= launch:
+            # Freeze the tree from the stabilized flood state.  Missing
+            # adopters (their announcement still in retransmission) are
+            # auto-adopted by the non-strict death counter on their
+            # first report; missing degrees arrive before the exchange
+            # phase can finish.
+            self._tree = FloodMaxState(
+                leader_id=self._flood.best_id,
+                leader_rank=self._flood.best_rank,
+                distance=self._flood.distance,
+                parent=self._flood.parent,
+                children=tuple(sorted(self._adopters)),
+            )
+            self.target = self._tree.leader_id
+            self._launch_counting(ctx, r)
+            return
+        self._channel.flush(r, ctx.push_message)
+
+    def _launch_counting(self, ctx: RoundContext, r: int) -> None:
+        """Build the walk manager and death counter, join the fast-path
+        engine when one is available, and launch this node's walks."""
+        n = self.info.n
         self._walks = WalkManager(
             node_id=self.node_id,
             neighbors=self.neighbors,
@@ -284,7 +473,11 @@ class RWBCNodeProgram(VectorizedProgram):
             parent=self._tree.parent,
             children=self._tree.children,
             expected_total=launchers * self.config.walks_per_source,
+            strict=not self.config.reliable,
         )
+        for sender, total in self._early_terms:
+            self._death_counter.receive_report(sender, total)
+        self._early_terms = []
         shared = getattr(ctx, "shared", None)
         if shared is not None:
             # Fast path: join (or create) the network-wide engine.  This
@@ -295,7 +488,9 @@ class RWBCNodeProgram(VectorizedProgram):
                 engine = CountingWalkEngine(n)
                 shared.slots["walk_engine"] = engine
                 shared.register_driver(engine)
-            engine.register(self, self._walks, self._death_counter, ctx)
+            engine.register(
+                self, self._walks, self._death_counter, ctx, self._channel
+            )
             self._engine = engine
         self.phase = PHASE_COUNTING
         self.counting_start_round = r
@@ -305,8 +500,10 @@ class RWBCNodeProgram(VectorizedProgram):
             # The engine adopts the launch queues at end of this round
             # and performs the sends (walks and initial term report).
             self._engine.touch(self.node_id)
-        else:
+        elif self._channel is None:
             self._counting_sends(ctx)
+        else:
+            self._reliable_counting_sends(ctx)
 
     def _collect_immediate_deaths(self) -> int:
         """Deaths at launch time: none with length >= 1 (enforced), but
@@ -323,14 +520,45 @@ class RWBCNodeProgram(VectorizedProgram):
         (walk traffic is claimed by the engine), so this just folds in
         term reports, reacts to the done wave, and tells the engine the
         node was active so the post-round pass re-examines its
-        reporting state."""
+        reporting state.
+
+        In reliable mode the control mail additionally includes acks
+        and retransmitted walk tokens; fresh tokens are handed to the
+        engine's control-arrival buffer so they join the same
+        canonical grouped receive as the claimed bulk traffic.  The
+        engine owns this node's flush while it is counting, so none
+        happens here."""
         done_round: int | None = None
-        for message in inbox:
-            if message.kind == KIND_TERM:
-                (total,) = message.fields
-                self._death_counter.receive_report(message.sender, total)
-            elif message.kind == KIND_DONE:
-                (done_round,) = message.fields
+        if self._channel is not None:
+            for message in inbox:
+                kind = message.kind
+                if kind == KIND_ACK:
+                    self._channel.receive(message)
+                    continue
+                payload = self._channel.receive(message)
+                if payload is None:
+                    continue
+                if kind in (KIND_WALK, KIND_WALK_BATCH):
+                    self._engine.deliver_control_walk(
+                        self.node_id, kind, payload
+                    )
+                elif kind == KIND_TERM:
+                    self._death_counter.receive_report(
+                        message.sender, payload[0]
+                    )
+                elif kind == KIND_DONE:
+                    done_round = payload[0]
+                elif kind == KIND_EXCHANGE:
+                    self._store_exchange(message.sender, payload)
+                elif kind == KIND_DEGREE:
+                    self._neighbor_degrees[message.sender] = payload[0]
+        else:
+            for message in inbox:
+                if message.kind == KIND_TERM:
+                    (total,) = message.fields
+                    self._death_counter.receive_report(message.sender, total)
+                elif message.kind == KIND_DONE:
+                    (done_round,) = message.fields
         if done_round is not None:
             self._begin_done_wave(ctx, done_round)
             return
@@ -346,24 +574,56 @@ class RWBCNodeProgram(VectorizedProgram):
         remainings: list[int] = []
         halves: list[int] = []
         counts: list[int] = []
-        for message in inbox:
-            if message.kind == KIND_WALK:
-                source, remaining, half = message.fields
-                sources.append(source)
-                remainings.append(remaining)
-                halves.append(half)
-                counts.append(1)
-            elif message.kind == KIND_WALK_BATCH:
-                source, remaining, half, count = message.fields
-                sources.append(source)
-                remainings.append(remaining)
-                halves.append(half)
-                counts.append(count)
-            elif message.kind == KIND_TERM:
-                (total,) = message.fields
-                self._death_counter.receive_report(message.sender, total)
-            elif message.kind == KIND_DONE:
-                (done_round,) = message.fields
+        if self._channel is not None:
+            for message in inbox:
+                kind = message.kind
+                if kind == KIND_ACK:
+                    self._channel.receive(message)
+                    continue
+                payload = self._channel.receive(message)
+                if payload is None:
+                    continue
+                if kind == KIND_WALK:
+                    sources.append(payload[0])
+                    remainings.append(payload[1])
+                    halves.append(payload[2])
+                    counts.append(1)
+                elif kind == KIND_WALK_BATCH:
+                    sources.append(payload[0])
+                    remainings.append(payload[1])
+                    halves.append(payload[2])
+                    counts.append(payload[3])
+                elif kind == KIND_TERM:
+                    self._death_counter.receive_report(
+                        message.sender, payload[0]
+                    )
+                elif kind == KIND_DONE:
+                    done_round = payload[0]
+                elif kind == KIND_EXCHANGE:
+                    # A neighbor reached the exchange phase before this
+                    # node's done arrival; its columns are valid now.
+                    self._store_exchange(message.sender, payload)
+                elif kind == KIND_DEGREE:
+                    self._neighbor_degrees[message.sender] = payload[0]
+        else:
+            for message in inbox:
+                if message.kind == KIND_WALK:
+                    source, remaining, half = message.fields
+                    sources.append(source)
+                    remainings.append(remaining)
+                    halves.append(half)
+                    counts.append(1)
+                elif message.kind == KIND_WALK_BATCH:
+                    source, remaining, half, count = message.fields
+                    sources.append(source)
+                    remainings.append(remaining)
+                    halves.append(half)
+                    counts.append(count)
+                elif message.kind == KIND_TERM:
+                    (total,) = message.fields
+                    self._death_counter.receive_report(message.sender, total)
+                elif message.kind == KIND_DONE:
+                    (done_round,) = message.fields
         if sources:
             # One grouped call per round: the randomness consumed depends
             # only on the multiset of arrivals, never on message order.
@@ -380,12 +640,44 @@ class RWBCNodeProgram(VectorizedProgram):
             done_round = ctx.round_number + self.info.n + 2
         if done_round is not None:
             self._begin_done_wave(ctx, done_round)
+            if self._channel is not None:
+                # Ship the queued done wave (and any owed acks) now;
+                # from next round the exchange handler flushes.
+                self._channel.flush(ctx.round_number, ctx.push_message)
             return
-        self._counting_sends(ctx)
+        if self._channel is not None:
+            self._reliable_counting_sends(ctx)
+        else:
+            self._counting_sends(ctx)
 
     def _counting_sends(self, ctx: RoundContext) -> None:
         self._walks.send_round(ctx)
         self._death_counter.maybe_report(ctx)
+
+    def _reliable_counting_sends(self, ctx: RoundContext) -> None:
+        """Per-message-loop counting sends under recovery: queue the
+        term report, flush the ARQ (retransmissions claim edge slots
+        first), then emit fresh walk tokens into what remains."""
+        total = self._death_counter.pop_report()
+        if total is not None:
+            self._channel.queue_latest(
+                self._death_counter.parent, KIND_TERM, (total,)
+            )
+        retransmits = self._channel.flush(ctx.round_number, ctx.push_message)
+        budgets = {
+            neighbor: self.config.walk_budget - retransmits.get(neighbor, 0)
+            for neighbor in self.neighbors
+        }
+        self._walks.send_round(ctx, self._channel, budgets)
+
+    def _store_exchange(self, sender: int, payload: tuple[int, ...]) -> None:
+        """Fold one fresh (deduplicated) exchange column from a
+        neighbor; reliable mode only."""
+        source, count_a, count_b = payload
+        slab = self._neighbor_counts[sender]
+        slab[0, source] = count_a
+        slab[1, source] = count_b
+        self._xch_received[sender] += 1
 
     def _begin_done_wave(self, ctx: RoundContext, done_round: int) -> None:
         self._exchange_start = done_round
@@ -395,8 +687,19 @@ class RWBCNodeProgram(VectorizedProgram):
                 f"node {self.node_id} still holds walks at the done wave; "
                 "termination detection is broken"
             )
-        for child in self._tree.children:
-            ctx.send(child, KIND_DONE, done_round)
+        if self._channel is not None:
+            # Under loss the tree is not a safe broadcast overlay (an
+            # adopt may still be in flight), so the done wave floods
+            # over every edge; duplicates are cheap and dedup is free.
+            for neighbor in self.neighbors:
+                self._channel.queue_latest(neighbor, KIND_DONE, (done_round,))
+            if self._engine is not None:
+                # The engine owns this node's flush for the transition
+                # round (its per-node call already happened).
+                self._engine.note_transition(self.node_id)
+        else:
+            for child in self._tree.children:
+                ctx.send(child, KIND_DONE, done_round)
         self.phase = PHASE_EXCHANGE
         self.exchange_start_round = done_round
 
@@ -409,6 +712,9 @@ class RWBCNodeProgram(VectorizedProgram):
         inbox: list[Message],
         bulk: BulkInbox | None = None,
     ) -> None:
+        if self._channel is not None:
+            self._exchange_round_reliable(ctx, inbox)
+            return
         n = self.info.n
         r = ctx.round_number
         for message in inbox:
@@ -461,6 +767,63 @@ class RWBCNodeProgram(VectorizedProgram):
             else:
                 ctx.broadcast(KIND_EXCHANGE, source, count_a, count_b)
         elif r >= start + n:
+            self._finish(r)
+
+    def _exchange_round_reliable(
+        self, ctx: RoundContext, inbox: list[Message]
+    ) -> None:
+        """Self-paced exchange under recovery (Algorithm 2, lossy form).
+
+        The fault-free protocol synchronizes subrounds by the calendar
+        (column ``i`` travels in round ``R_end + i``); loss breaks any
+        fixed schedule, so instead each node ships its next unsent
+        count column every round through the ARQ and finishes when all
+        ``n`` columns are sent *and acked*, all ``n`` columns have
+        arrived from every neighbor, every neighbor degree is known,
+        and the channel is drained.  Fault-free this sends exactly the
+        same n columns in the same n rounds as the calendar schedule.
+        """
+        n = self.info.n
+        r = ctx.round_number
+        for message in inbox:
+            kind = message.kind
+            if kind == KIND_ACK:
+                self._channel.receive(message)
+                continue
+            payload = self._channel.receive(message)
+            if payload is None:
+                continue
+            if kind == KIND_EXCHANGE:
+                self._store_exchange(message.sender, payload)
+            elif kind == KIND_TERM:
+                # A child's report whose first copy was lost; fold it
+                # in (monotone) so the ack stops its retransmission.
+                self._death_counter.receive_report(message.sender, payload[0])
+            elif kind == KIND_DONE:
+                pass  # the done wave floods every edge; we already know
+            elif kind == KIND_DEGREE:
+                self._neighbor_degrees[message.sender] = payload[0]
+            elif kind in (KIND_WALK, KIND_WALK_BATCH):
+                raise ProtocolError(
+                    "fresh walk token arrived during exchange at node "
+                    f"{self.node_id}: recovery lost a death"
+                )
+        if self._next_column < n:
+            source = self._next_column
+            count_a = int(self._walks.half_counts[0, source])
+            count_b = int(self._walks.half_counts[1, source])
+            for neighbor in self.neighbors:
+                self._channel.queue(
+                    neighbor, KIND_EXCHANGE, (source, count_a, count_b)
+                )
+            self._next_column += 1
+        self._channel.flush(r, ctx.push_message)
+        if (
+            self._next_column >= n
+            and len(self._neighbor_degrees) == self.degree
+            and all(self._xch_received[v] >= n for v in self.neighbors)
+            and self._channel.drained
+        ):
             self._finish(r)
 
     def _finish(self, round_number: int) -> None:

@@ -53,6 +53,13 @@ class DistributedRWBCResult:
     # Full per-round message log (relabeled node ids); populated only
     # when the run was started with record_messages=True.
     message_log: list = None
+    # Aggregate ARQ accounting (retransmissions, acks_sent,
+    # duplicates_rejected summed over all nodes); None on non-reliable
+    # runs.  Injected-fault counts live in metrics.faults.
+    recovery: dict | None = None
+    # Why the scheduler fell back to per-message dispatch (empty when
+    # the vectorized fast path ran).
+    fallback_reasons: tuple = ()
 
     def as_array(self, graph: Graph) -> np.ndarray:
         """Estimates in the graph's canonical node order."""

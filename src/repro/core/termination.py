@@ -37,6 +37,7 @@ class DeathCounterLogic:
         parent: int | None,
         children: tuple[int, ...],
         expected_total: int,
+        strict: bool = True,
     ) -> None:
         if expected_total < 0:
             raise ProtocolError("expected_total must be >= 0")
@@ -44,6 +45,7 @@ class DeathCounterLogic:
         self.parent = parent
         self.children = children
         self.expected_total = expected_total
+        self.strict = strict
         self.local_deaths = 0
         self._child_totals: dict[int, int] = {child: 0 for child in children}
         self._last_reported = -1
@@ -55,12 +57,22 @@ class DeathCounterLogic:
         self.local_deaths += count
 
     def receive_report(self, child: int, total: int) -> None:
-        """Fold in a child's subtree total (monotone: keep the max)."""
+        """Fold in a child's subtree total (monotone: keep the max).
+
+        In non-strict (loss-tolerant) mode an unknown reporter is
+        adopted on the spot: under message loss a child's ``adopt``
+        announcement can still be in retransmission when its first
+        death report lands, and a node only ever reports to the parent
+        its own flood state names, so the sender genuinely belongs to
+        this subtree.
+        """
         if child not in self._child_totals:
-            raise ProtocolError(
-                f"termination report from non-child {child} at "
-                f"node {self.node_id}"
-            )
+            if self.strict:
+                raise ProtocolError(
+                    f"termination report from non-child {child} at "
+                    f"node {self.node_id}"
+                )
+            self._child_totals[child] = 0
         if total > self._child_totals[child]:
             self._child_totals[child] = total
 

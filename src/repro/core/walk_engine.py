@@ -89,6 +89,16 @@ class CountingWalkEngine:
         self._contexts: dict[int, BulkRoundContext] = {}
         self._rngs: dict[int, np.random.Generator] = {}
         self._touched: set[int] = set()
+        # Reliable-mode state: per-node ARQ channels, fresh walk tokens
+        # that arrived as control retransmissions this round, nodes
+        # that left the counting phase this round (the engine owes them
+        # one last flush), and the run's FaultRuntime for the crashed
+        # set.  All stay empty/None on fault-free runs.
+        self._channels: dict[int, object] = {}
+        self._reliable = False
+        self._control_arrivals: list[tuple[int, int, int, int, int]] = []
+        self._transitioned: set[int] = set()
+        self._fault_runtime = None
         # Pending-token table, one row per queued group:
         # (edge id, arrival seq, source, remaining_here, half, count).
         # Rows with equal edge id in ascending seq order ARE that
@@ -116,10 +126,17 @@ class CountingWalkEngine:
         manager: WalkManager,
         counter: DeathCounterLogic,
         ctx: "BulkRoundContext",
+        channel=None,
     ) -> None:
         """Adopt one node.  Must run before the manager launches its
         walks: the manager's count slab is replaced by a view into the
-        engine's global tensor, so launch-time visits land there."""
+        engine's global tensor, so launch-time visits land there.
+
+        ``channel`` is the node's
+        :class:`~repro.congest.reliable.ReliableChannel` when the
+        protocol runs in reliable mode; the engine then performs the
+        node's walk-token dedup, acking, flushing, and
+        retransmission-aware emission while the node is counting."""
         node = manager.node_id
         if node in self._managers:
             raise ProtocolError(
@@ -132,11 +149,38 @@ class CountingWalkEngine:
         self._counters[node] = counter
         self._contexts[node] = ctx
         self._rngs[node] = manager.rng
+        self._channels[node] = channel
+        if channel is not None:
+            self._reliable = True
+        shared = getattr(ctx, "shared", None)
+        if shared is not None and self._fault_runtime is None:
+            self._fault_runtime = shared.fault_runtime
 
     def touch(self, node: int) -> None:
         """Mark a node as active this round (it ran for control mail),
         so the post-round pass considers its termination reporting."""
         self._touched.add(node)
+
+    def deliver_control_walk(
+        self, node: int, kind: str, payload: tuple[int, ...]
+    ) -> None:
+        """Buffer a fresh walk token that arrived as an ordinary control
+        message (an ARQ retransmission - fresh emission always travels
+        in bulk).  The node's round handler already ran it through the
+        channel; the engine folds it into this round's canonical
+        grouped receive alongside the claimed bulk arrivals."""
+        if kind == KIND_WALK:
+            source, remaining, half = payload
+            count = 1
+        else:
+            source, remaining, half, count = payload
+        self._control_arrivals.append((node, source, remaining, half, count))
+
+    def note_transition(self, node: int) -> None:
+        """A counting node switched to the exchange phase during this
+        round's calls; the engine still owes its channel this round's
+        flush (from next round the node flushes inline)."""
+        self._transitioned.add(node)
 
     # ------------------------------------------------------------------
     # Driver hook (called by the scheduler, once per round)
@@ -150,14 +194,24 @@ class CountingWalkEngine:
     ) -> None:
         if not self._finalized:
             self._finalize()
-        if claimed:
+        crashed = (
+            self._fault_runtime.crashed(round_number)
+            if self._fault_runtime is not None
+            else frozenset()
+        )
+        if self._reliable and claimed:
+            claimed = self._dedup_claimed(claimed)
+        if claimed or self._control_arrivals:
             dead = self._process_arrivals(claimed)
         else:
             dead = ()
         if self._touched or len(dead):
             self._post_round(round_number, outbox, dead)
+        retransmits = None
+        if self._reliable:
+            retransmits = self._flush_channels(round_number, outbox, crashed)
         if len(self._pending):
-            self._emit(bulk_outbox)
+            self._emit(bulk_outbox, round_number, retransmits, crashed)
 
     # ------------------------------------------------------------------
     # Internals
@@ -206,6 +260,55 @@ class CountingWalkEngine:
         self._max_degree = int(self._degrees.max())
         self._finalized = True
 
+    def _dedup_claimed(
+        self, claimed: dict[str, ClaimedKind]
+    ) -> dict[str, ClaimedKind]:
+        """Reliable mode: run every claimed walk row through the
+        receiver's ARQ before counting.
+
+        Mirrors, row by row, what the per-message loop does with each
+        token message: a first-seen seq is fresh (kept, multiplicity
+        one - fault duplication cannot double a token), a repeat is
+        rejected, and a receiver still in setup leaves the row unacked
+        so the sender retransmits it past the launch round.  InLink
+        state updates here are order-independent within a round, so the
+        slow path's arrival order and this row order agree byte for
+        byte."""
+        out: dict[str, ClaimedKind] = {}
+        for kind, (senders, receivers, fields, multiplicity) in (
+            claimed.items()
+        ):
+            keep = np.zeros(len(receivers), dtype=bool)
+            for i in range(len(receivers)):
+                receiver = int(receivers[i])
+                program = self._programs[receiver]
+                phase = program.phase
+                if phase == "setup":
+                    # Not launched (crashed through the launch round):
+                    # no accept, no ack; the sender retries later.
+                    continue
+                channel = self._channels[receiver]
+                copies = int(multiplicity[i])
+                if channel.inn[int(senders[i])].accept(int(fields[i, -1])):
+                    if phase != "counting":
+                        raise ProtocolError(
+                            "fresh walk token arrived during "
+                            f"{phase} at node {receiver}: recovery "
+                            "lost a death"
+                        )
+                    keep[i] = True
+                    channel.stats.duplicates_rejected += copies - 1
+                else:
+                    channel.stats.duplicates_rejected += copies
+            if keep.any():
+                out[kind] = (
+                    senders[keep],
+                    receivers[keep],
+                    fields[keep],
+                    np.ones(int(keep.sum()), dtype=np.int64),
+                )
+        return out
+
     def _process_arrivals(
         self, claimed: dict[str, ClaimedKind]
     ) -> np.ndarray:
@@ -226,6 +329,16 @@ class CountingWalkEngine:
             parts.append(
                 (receivers, fields[:, 0], fields[:, 1], fields[:, 2],
                  fields[:, 3] * multiplicity)
+            )
+        if self._control_arrivals:
+            # Retransmitted tokens delivered as control mail this round;
+            # they join the same canonical grouping, so where a token
+            # arrived from is invisible to the random stream.
+            control = np.array(self._control_arrivals, dtype=np.int64)
+            self._control_arrivals = []
+            parts.append(
+                (control[:, 0], control[:, 1], control[:, 2],
+                 control[:, 3], control[:, 4])
             )
         if not parts:
             return self._round_deaths[:0]
@@ -379,17 +492,64 @@ class CountingWalkEngine:
             else:
                 total = counter.pop_report()
                 if total is not None:
-                    outbox.push(
-                        Message(
-                            sender=node,
-                            receiver=counter.parent,
-                            kind=KIND_TERM,
-                            fields=(total,),
+                    if self._reliable:
+                        # Sequenced and shipped by this round's flush,
+                        # exactly like the slow path's queue-then-flush.
+                        self._channels[node].queue_latest(
+                            counter.parent, KIND_TERM, (total,)
                         )
-                    )
+                    else:
+                        outbox.push(
+                            Message(
+                                sender=node,
+                                receiver=counter.parent,
+                                kind=KIND_TERM,
+                                fields=(total,),
+                            )
+                        )
         self._touched = set()
 
-    def _emit(self, bulk_outbox: "BulkOutbox") -> None:
+    def _flush_channels(
+        self,
+        round_number: int,
+        outbox: "RoundOutbox",
+        crashed: frozenset,
+    ) -> dict[int, int]:
+        """Run the per-round ARQ flush for every node the engine owns
+        this round: counting nodes plus the ones that left counting
+        during this round's calls.  (Setup/exchange/done nodes flush
+        inline in their own handlers; a crashed node flushes nothing,
+        same as the per-message loop skipping it.)  Returns the fresh
+        token budget debits as an edge-id -> retransmit-count map for
+        :meth:`_emit`."""
+        retransmits: dict[int, int] = {}
+        offsets = self._offsets
+        for node in sorted(self._channels):
+            if node in crashed:
+                continue
+            if (
+                self._programs[node].phase != "counting"
+                and node not in self._transitioned
+            ):
+                continue
+            channel = self._channels[node]
+            sent = channel.flush(round_number, outbox.push)
+            if sent:
+                neighbors = self._managers[node].neighbors
+                for neighbor, count in sent.items():
+                    retransmits[offsets[node] + neighbors.index(neighbor)] = (
+                        count
+                    )
+        self._transitioned = set()
+        return retransmits
+
+    def _emit(
+        self,
+        bulk_outbox: "BulkOutbox",
+        round_number: int = 0,
+        retransmits: dict[int, int] | None = None,
+        crashed: frozenset = frozenset(),
+    ) -> None:
         """Dequeue every edge's sendable tokens under the per-edge
         budget (same head-splitting / whole-group rules as
         :meth:`WalkManager.emit_round`) and ship the whole round as one
@@ -400,7 +560,15 @@ class CountingWalkEngine:
         computed for all edges at once: sort the pending table by
         (edge, seq) and a segmented cumulative sum yields each group's
         take under its edge's budget - exactly the decisions the
-        per-edge head-of-queue loop would make."""
+        per-edge head-of-queue loop would make.
+
+        Under faults the budget becomes per edge: ``retransmits`` debits
+        slots the ARQ flush already spent, and edges out of a crashed
+        node get zero (the per-message loop skips the node outright, so
+        its queues just wait).  In reliable mode every shipped token
+        needs its own seq, so QUEUE groups expand to one row per token
+        and each row is sequenced through the sender's channel in the
+        same per-edge FIFO order the slow path sends in."""
         pending = self._pending
         order = np.lexsort((pending[:, 1], pending[:, 0]))
         pending = pending[order]
@@ -408,7 +576,19 @@ class CountingWalkEngine:
         counts = pending[:, 5]
         starts, ends = _segments(edges)
         lengths = ends - starts
-        budget = self._budget
+        budget: int | np.ndarray = self._budget
+        if retransmits or crashed:
+            edge_budget = np.full(
+                len(self._targets), self._budget, dtype=np.int64
+            )
+            if retransmits:
+                for edge_id, spent in retransmits.items():
+                    edge_budget[edge_id] = max(0, self._budget - spent)
+            if crashed:
+                edge_budget[
+                    np.isin(self._edge_src, np.array(sorted(crashed)))
+                ] = 0
+            budget = edge_budget[edges]
         if self._policy is TransportPolicy.QUEUE:
             prior = np.cumsum(counts) - counts
             prior_within = prior - np.repeat(prior[starts], lengths)
@@ -424,14 +604,15 @@ class CountingWalkEngine:
         edge_ids = sent[:, 0]
         senders = self._edge_src[edge_ids]
         np.subtract.at(self.held, senders, taken)
-        fields = np.empty(
-            (len(sent), 3 if self._policy is TransportPolicy.QUEUE else 4),
-            dtype=np.int64,
-        )
-        fields[:, 0] = sent[:, 2]
-        fields[:, 1] = sent[:, 3] - 1
-        fields[:, 2] = sent[:, 4]
-        if self._policy is TransportPolicy.QUEUE:
+        if self._reliable:
+            self._emit_reliable(
+                bulk_outbox, round_number, sent, taken, senders
+            )
+        elif self._policy is TransportPolicy.QUEUE:
+            fields = np.empty((len(sent), 3), dtype=np.int64)
+            fields[:, 0] = sent[:, 2]
+            fields[:, 1] = sent[:, 3] - 1
+            fields[:, 2] = sent[:, 4]
             bulk_outbox.push_rows(
                 KIND_WALK,
                 senders,
@@ -440,6 +621,10 @@ class CountingWalkEngine:
                 taken,
             )
         else:
+            fields = np.empty((len(sent), 4), dtype=np.int64)
+            fields[:, 0] = sent[:, 2]
+            fields[:, 1] = sent[:, 3] - 1
+            fields[:, 2] = sent[:, 4]
             fields[:, 3] = taken
             bulk_outbox.push_rows(
                 KIND_WALK_BATCH,
@@ -455,6 +640,67 @@ class CountingWalkEngine:
             self._pending = kept
         else:
             self._pending = pending[:0]
+
+    def _emit_reliable(
+        self,
+        bulk_outbox: "BulkOutbox",
+        round_number: int,
+        sent: np.ndarray,
+        taken: np.ndarray,
+        senders: np.ndarray,
+    ) -> None:
+        """Ship this round's emitted tokens with per-token sequencing.
+
+        Rows arrive sorted by (edge, arrival seq), so walking them in
+        order assigns each directed edge the same consecutive seqs the
+        per-message loop's ``send_round`` would (it also sends
+        head-of-queue first).  QUEUE groups expand to multiplicity-one
+        rows because each token message carries a distinct seq."""
+        if not len(sent):
+            return
+        targets = self._targets[sent[:, 0]]
+        if self._policy is TransportPolicy.QUEUE:
+            row_senders = np.repeat(senders, taken)
+            row_targets = np.repeat(targets, taken)
+            fields = np.empty((len(row_senders), 4), dtype=np.int64)
+            fields[:, 0] = np.repeat(sent[:, 2], taken)
+            fields[:, 1] = np.repeat(sent[:, 3] - 1, taken)
+            fields[:, 2] = np.repeat(sent[:, 4], taken)
+            for i in range(len(row_senders)):
+                fields[i, 3] = self._channels[
+                    int(row_senders[i])
+                ].register_sent(
+                    int(row_targets[i]),
+                    KIND_WALK,
+                    (
+                        int(fields[i, 0]),
+                        int(fields[i, 1]),
+                        int(fields[i, 2]),
+                    ),
+                    round_number,
+                )
+            bulk_outbox.push_rows(KIND_WALK, row_senders, row_targets, fields)
+        else:
+            fields = np.empty((len(sent), 5), dtype=np.int64)
+            fields[:, 0] = sent[:, 2]
+            fields[:, 1] = sent[:, 3] - 1
+            fields[:, 2] = sent[:, 4]
+            fields[:, 3] = taken
+            for i in range(len(sent)):
+                fields[i, 4] = self._channels[int(senders[i])].register_sent(
+                    int(targets[i]),
+                    KIND_WALK_BATCH,
+                    (
+                        int(fields[i, 0]),
+                        int(fields[i, 1]),
+                        int(fields[i, 2]),
+                        int(fields[i, 3]),
+                    ),
+                    round_number,
+                )
+            bulk_outbox.push_rows(
+                KIND_WALK_BATCH, senders, targets, fields
+            )
 
 
 def _segments(nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -257,7 +257,9 @@ class WalkManager:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def emit_round(self) -> list[tuple[int, int, int, int, int]]:
+    def emit_round(
+        self, budgets: dict[int, int] | None = None
+    ) -> list[tuple[int, int, int, int, int]]:
         """Dequeue this round's sendable tokens under the per-edge budget.
 
         Returns ``(neighbor, source, remaining_after_hop, half, count)``
@@ -267,6 +269,10 @@ class WalkManager:
         materializes messages (slow path) or ships the entries in
         aggregate (fast path) - either way the queue dynamics, and hence
         the random stream, are identical.
+
+        ``budgets`` overrides the per-neighbor budget for this round:
+        under lossy-link recovery, retransmitted tokens occupy edge
+        slots first and fresh emission gets what remains.
         """
         entries: list[tuple[int, int, int, int, int]] = []
         for neighbor in self.neighbors:
@@ -274,6 +280,10 @@ class WalkManager:
             if not queue:
                 continue
             budget = self.walk_budget
+            if budgets is not None:
+                budget = budgets.get(neighbor, budget)
+                if budget <= 0:
+                    continue
             if self.policy is TransportPolicy.QUEUE:
                 while queue and budget > 0:
                     group = queue[0]
@@ -296,27 +306,72 @@ class WalkManager:
         self._held -= sum(entry[4] for entry in entries)
         return entries
 
-    def send_round(self, ctx: RoundContext) -> int:
+    def send_round(
+        self,
+        ctx: RoundContext,
+        channel=None,
+        budgets: dict[int, int] | None = None,
+    ) -> int:
         """Emit this round's walk messages; return how many were sent.
 
         Materializes each emitted group into individual ``walk`` /
         ``walkb`` messages (the per-message simulation path; on the
         scheduler's fast path the network-wide engine ships every node's
         groups in aggregate instead).
+
+        With a :class:`~repro.congest.reliable.ReliableChannel`, every
+        token message is sequenced through ``channel.register_sent`` and
+        carries its seq as the last field; under QUEUE that forces one
+        token per message (each needs its own seq).  ``budgets`` is
+        forwarded to :meth:`emit_round`.
         """
-        entries = self.emit_round()
+        entries = self.emit_round(budgets)
         if not entries:
             return 0
         sent = 0
         for neighbor, source, remaining, half, count in entries:
             if self.policy is TransportPolicy.QUEUE:
-                for _ in range(count):
-                    ctx.send(neighbor, KIND_WALK, source, remaining, half)
+                if channel is not None:
+                    for _ in range(count):
+                        seq = channel.register_sent(
+                            neighbor,
+                            KIND_WALK,
+                            (source, remaining, half),
+                            ctx.round_number,
+                        )
+                        ctx.send(
+                            neighbor, KIND_WALK, source, remaining, half, seq
+                        )
+                else:
+                    for _ in range(count):
+                        ctx.send(neighbor, KIND_WALK, source, remaining, half)
                 sent += count
             else:
-                ctx.send(
-                    neighbor, KIND_WALK_BATCH, source, remaining, half, count
-                )
+                if channel is not None:
+                    seq = channel.register_sent(
+                        neighbor,
+                        KIND_WALK_BATCH,
+                        (source, remaining, half, count),
+                        ctx.round_number,
+                    )
+                    ctx.send(
+                        neighbor,
+                        KIND_WALK_BATCH,
+                        source,
+                        remaining,
+                        half,
+                        count,
+                        seq,
+                    )
+                else:
+                    ctx.send(
+                        neighbor,
+                        KIND_WALK_BATCH,
+                        source,
+                        remaining,
+                        half,
+                        count,
+                    )
                 sent += 1
         return sent
 

@@ -7,6 +7,8 @@ Commands
 ``compare``   all centrality measures side by side
 ``diameter``  distributed diameter via pipelined APSP
 ``chaos``     distributed estimation under injected faults
+``observe``   telemetry toolkit: run (record a JSONL artifact),
+              report (render one), diff (compare two)
 ``info``      available graph families and datasets
 
 Every command takes one graph source: ``--family NAME --n N`` (synthetic,
@@ -20,6 +22,7 @@ import argparse
 import sys
 
 from repro.graphs.graph import Graph, GraphError
+from repro.obs.export import SchemaError
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +61,20 @@ def _resolve_graph(args: argparse.Namespace) -> Graph:
     from repro.graphs.io import read_edge_list
 
     return read_edge_list(args.edge_list)
+
+
+def _graph_meta(
+    args: argparse.Namespace, graph: Graph, **extra
+) -> dict:
+    """Free-form run metadata for observe artifacts."""
+    meta: dict = {
+        "graph": args.family or args.dataset or args.edge_list,
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "seed": getattr(args, "seed", None),
+    }
+    meta.update({key: value for key, value in extra.items() if value})
+    return meta
 
 
 def _print_centrality(values: dict, top: int | None) -> None:
@@ -143,9 +160,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         delay_rate=args.delay,
         crashes=crashes,
     )
+    telemetry = None
+    if args.observe:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
     result = estimate_rwbc_distributed(
-        graph, parameters, seed=args.seed, faults=plan
+        graph, parameters, seed=args.seed, faults=plan, telemetry=telemetry
     )
+    if args.observe:
+        from repro.obs.export import write_artifact
+
+        count = write_artifact(
+            args.observe,
+            result,
+            meta=_graph_meta(args, graph, faults=plan.describe()),
+        )
+        print(f"# observe: wrote {count} records to {args.observe}")
     print(
         f"# chaos RWBC, n={graph.num_nodes} l={parameters.length} "
         f"K={parameters.walks_per_source} faults=[{plan.describe()}]"
@@ -175,6 +206,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{deviation:.6f}"
         )
     _print_centrality(result.betweenness, args.top)
+    return 0
+
+
+def _cmd_observe_run(args: argparse.Namespace) -> int:
+    from repro.core.estimator import estimate_rwbc_distributed
+    from repro.core.parameters import WalkParameters, default_parameters
+    from repro.core.walk_manager import TransportPolicy
+    from repro.obs import Telemetry
+    from repro.obs.export import write_artifact
+
+    # ``--graph`` is the family alias of this command; fold it into the
+    # shared resolver's namespace.
+    args.family = args.graph
+    graph = _resolve_graph(args)
+    if args.length and args.walks:
+        parameters = WalkParameters(args.length, args.walks)
+    else:
+        parameters = default_parameters(graph.num_nodes)
+    telemetry = Telemetry()
+    tracer = None
+    if args.trace:
+        from repro.congest.trace import Tracer
+
+        tracer = Tracer(max_events=args.trace_events)
+    result = estimate_rwbc_distributed(
+        graph,
+        parameters,
+        seed=args.seed,
+        policy=TransportPolicy(args.policy),
+        vectorized=False if args.slow else None,
+        telemetry=telemetry,
+        tracer=tracer,
+    )
+    count = write_artifact(
+        args.out,
+        result,
+        meta=_graph_meta(
+            args,
+            graph,
+            length=parameters.length,
+            walks_per_source=parameters.walks_per_source,
+            policy=args.policy,
+        ),
+        tracer=tracer,
+    )
+    path_label = (
+        "fast path" if not result.fallback_reasons else "per-message loop"
+    )
+    print(
+        f"# observed run: n={graph.num_nodes} rounds={result.total_rounds} "
+        f"[{path_label}]"
+    )
+    print(f"# wrote {count} records to {args.out}")
+    return 0
+
+
+def _cmd_observe_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_artifact
+    from repro.obs.report import render_report
+
+    print(render_report(read_artifact(args.artifact)))
+    return 0
+
+
+def _cmd_observe_diff(args: argparse.Namespace) -> int:
+    from repro.obs.export import diff_artifacts, read_artifact
+    from repro.obs.report import render_diff
+
+    diff = diff_artifacts(read_artifact(args.a), read_artifact(args.b))
+    print(render_diff(diff, label_a=args.a, label_b=args.b))
     return 0
 
 
@@ -328,7 +429,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run fault-free and report the max estimate deviation",
     )
     chaos.add_argument("--top", type=int)
+    chaos.add_argument(
+        "--observe",
+        metavar="PATH",
+        help="record telemetry and write a JSONL observe artifact here",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    observe = commands.add_parser(
+        "observe", help="telemetry toolkit (run / report / diff)"
+    )
+    observe_commands = observe.add_subparsers(
+        dest="observe_command", required=True
+    )
+
+    observe_run = observe_commands.add_parser(
+        "run", help="run the distributed estimator with telemetry on"
+    )
+    observe_run.add_argument(
+        "--graph", help="synthetic family (see 'info'), e.g. er"
+    )
+    observe_run.add_argument(
+        "--n", type=int, default=30, help="size for --graph"
+    )
+    observe_run.add_argument(
+        "--graph-seed", type=int, default=0, help="seed for --graph"
+    )
+    observe_run.add_argument("--dataset", help="bundled dataset (see 'info')")
+    observe_run.add_argument("--edge-list", help="path to an edge-list file")
+    observe_run.add_argument("--length", type=int, help="walk length l")
+    observe_run.add_argument("--walks", type=int, help="walks per source K")
+    observe_run.add_argument("--seed", type=int, default=0)
+    observe_run.add_argument(
+        "--policy", choices=("queue", "batch"), default="queue"
+    )
+    observe_run.add_argument(
+        "--slow",
+        action="store_true",
+        help="force the per-message loop (vectorized=False)",
+    )
+    observe_run.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record per-message deliver events into the artifact",
+    )
+    observe_run.add_argument(
+        "--trace-events",
+        type=int,
+        default=100_000,
+        help="trace event cap (with --trace)",
+    )
+    observe_run.add_argument(
+        "--out", required=True, help="JSONL artifact output path"
+    )
+    observe_run.set_defaults(handler=_cmd_observe_run)
+
+    observe_report = observe_commands.add_parser(
+        "report", help="render one artifact as a text report"
+    )
+    observe_report.add_argument("artifact", help="JSONL artifact path")
+    observe_report.set_defaults(handler=_cmd_observe_report)
+
+    observe_diff = observe_commands.add_parser(
+        "diff", help="compare two artifacts"
+    )
+    observe_diff.add_argument("a", help="baseline artifact")
+    observe_diff.add_argument("b", help="comparison artifact")
+    observe_diff.set_defaults(handler=_cmd_observe_diff)
 
     compare = commands.add_parser("compare", help="measure landscape")
     _add_graph_arguments(compare)
@@ -364,7 +531,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except GraphError as error:
+    except (GraphError, SchemaError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

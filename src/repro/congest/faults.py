@@ -260,6 +260,12 @@ class FaultCounters:
             "crash_node_rounds": self.crash_node_rounds,
         }
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy for per-round delta accounting (the
+        scheduler's telemetry hook diffs consecutive snapshots to
+        attribute injections to rounds).  Same keys as :meth:`summary`."""
+        return self.summary()
+
 
 #: One delayed bulk row awaiting maturity: (sender, receiver, fields, count).
 _DelayedRow = tuple[int, int, tuple[int, ...], int]

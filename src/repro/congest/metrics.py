@@ -34,6 +34,13 @@ class RunMetrics:
     # FaultPlan.  Message/bit counters above always reflect *delivered*
     # traffic, so a faulty run's totals exclude what the plan destroyed.
     faults: dict[str, int] = field(default_factory=dict)
+    # Optional repro.obs.InstrumentSet: when attached, each recorded
+    # round also folds its per-edge bit/message loads into the
+    # bits_per_edge_round / messages_per_edge_round histograms.
+    # Observation only - never read back by protocol code.
+    instruments: object | None = field(default=None, repr=False, compare=False)
+    # Rounds already attributed to some phase by mark_phase.
+    _attributed_rounds: int = field(default=0, repr=False, compare=False)
 
     def record_round(self, messages: list[Message]) -> None:
         """Fold one round's delivered messages into the totals."""
@@ -59,6 +66,13 @@ class RunMetrics:
         self.total_bits += round_bits
         self.messages_per_round.append(len(messages))
         self.bits_per_round.append(round_bits)
+        if self.instruments is not None and edge_messages:
+            self.instruments.observe_values(
+                "messages_per_edge_round", edge_messages.values()
+            )
+            self.instruments.observe_values(
+                "bits_per_edge_round", edge_bits.values()
+            )
 
     def record_round_aggregate(self, traffic) -> None:
         """Fold one fast-path round into the totals.
@@ -82,11 +96,28 @@ class RunMetrics:
         )
         self.messages_per_round.append(traffic.total_messages)
         self.bits_per_round.append(traffic.total_bits)
+        if self.instruments is not None:
+            if traffic.edge_messages is not None:
+                self.instruments.observe_array(
+                    "messages_per_edge_round", traffic.edge_messages
+                )
+            if traffic.edge_bits is not None:
+                self.instruments.observe_array(
+                    "bits_per_edge_round", traffic.edge_bits
+                )
 
     def mark_phase(self, name: str) -> None:
-        """Attribute all rounds since the previous mark to phase ``name``."""
-        already = sum(self.phase_rounds.values())
-        self.phase_rounds[name] = self.rounds - already
+        """Attribute all rounds since the previous mark to phase ``name``.
+
+        Re-entrant: marking the same name again *adds* the new rounds to
+        that phase, and interleaved marks (A, B, A, ...) attribute each
+        stretch to the phase named at its end.  (The old implementation
+        assumed strictly sequential one-shot marks - re-marking a name
+        silently corrupted every other phase's count.)
+        """
+        delta = self.rounds - self._attributed_rounds
+        self.phase_rounds[name] = self.phase_rounds.get(name, 0) + delta
+        self._attributed_rounds = self.rounds
 
     def bits_crossing_cut(
         self, messages_log: list[list[Message]], cut_nodes: set[int]

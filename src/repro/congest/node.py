@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
+from repro.obs.spans import NULL_PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.congest.transport import BulkInbox, BulkOutbox, RoundOutbox
@@ -141,6 +142,13 @@ class SharedFastPathState:
         # down node's emissions exactly as the per-node loop does by
         # skipping the node outright.
         self.fault_runtime: object | None = None
+        # Telemetry handles (observation-only; see repro.obs).  The
+        # scheduler installs the run's SpanProfiler so drivers can wrap
+        # their hot kernels in spans, and the InstrumentSet (None when
+        # telemetry is off) for histogram/counter observations.  Neither
+        # may ever influence protocol behavior or randomness.
+        self.profiler: object = NULL_PROFILER
+        self.instruments: object | None = None
 
     def register_driver(self, driver: object) -> None:
         """Register a cross-node driver; drivers run in registration

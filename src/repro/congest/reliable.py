@@ -55,7 +55,10 @@ class OutLink:
 
     def __init__(self) -> None:
         self.next_seq = 0
-        # seq -> [kind, fields-without-seq, last_sent_round]
+        # seq -> [kind, fields-without-seq, last_sent_round,
+        #         first_sent_round] (first_sent only feeds telemetry's
+        #         recovery-latency histogram; protocol decisions read
+        #         last_sent alone)
         self.unacked: dict[int, list] = {}
 
     def assign(
@@ -64,25 +67,34 @@ class OutLink:
         """Allocate the next seq for a message being sent this round."""
         seq = self.next_seq
         self.next_seq += 1
-        self.unacked[seq] = [kind, fields, round_number]
+        self.unacked[seq] = [kind, fields, round_number, round_number]
         return seq
 
     def touch(self, seq: int, round_number: int) -> None:
         """Record a retransmission of ``seq`` this round."""
         self.unacked[seq][2] = round_number
 
-    def apply_ack(self, cum: int, bitmap: int) -> int:
+    def apply_ack(
+        self, cum: int, bitmap: int, latencies: list | None = None
+    ) -> int:
         """Discard everything the ack covers; returns how many seqs
-        were newly confirmed."""
+        were newly confirmed.  With ``latencies``, appends each
+        confirmed seq's ``last_sent - first_sent`` (extra rounds spent
+        retransmitting before the acked copy went out; 0 = first try)."""
         confirmed = 0
         for seq in [s for s in self.unacked if s <= cum]:
-            del self.unacked[seq]
+            entry = self.unacked.pop(seq)
+            if latencies is not None:
+                latencies.append(entry[2] - entry[3])
             confirmed += 1
         offset = 0
         while bitmap:
             if bitmap & 1:
                 seq = cum + 1 + offset
-                if self.unacked.pop(seq, None) is not None:
+                entry = self.unacked.pop(seq, None)
+                if entry is not None:
+                    if latencies is not None:
+                        latencies.append(entry[2] - entry[3])
                     confirmed += 1
             bitmap >>= 1
             offset += 1
@@ -93,7 +105,7 @@ class OutLink:
         horizon = round_number - RETRANSMIT_AFTER
         return sorted(
             seq
-            for seq, (_, _, last_sent) in self.unacked.items()
+            for seq, (_, _, last_sent, _) in self.unacked.items()
             if last_sent <= horizon
         )
 
@@ -164,6 +176,7 @@ class ReliableChannel:
         token_kinds: frozenset[str],
         latest_kinds: frozenset[str],
         control_slots: int = 2,
+        instruments=None,
     ) -> None:
         self.node_id = node_id
         self.neighbors = tuple(sorted(neighbors))
@@ -178,6 +191,10 @@ class ReliableChannel:
             v: [] for v in self.neighbors
         }
         self.stats = ChannelStats()
+        # Optional repro.obs.InstrumentSet: ARQ window occupancy,
+        # per-round retransmit/ack counters, and recovery latencies.
+        # Strictly observational - the channel never reads it back.
+        self._instruments = instruments
 
     # ------------------------------------------------------------------
     # Sending
@@ -232,7 +249,15 @@ class ReliableChannel:
             )
         if message.kind == KIND_ACK:
             cum, bitmap = message.fields
-            self.out[sender].apply_ack(cum, bitmap)
+            if self._instruments is not None:
+                latencies: list[int] = []
+                self.out[sender].apply_ack(cum, bitmap, latencies)
+                for latency in latencies:
+                    self._instruments.observe(
+                        "recovery_latency_rounds", latency
+                    )
+            else:
+                self.out[sender].apply_ack(cum, bitmap)
             return None
         seq = message.fields[-1]
         if self.inn[sender].accept(seq):
@@ -258,13 +283,15 @@ class ReliableChannel:
         the edge's token slots are never oversubscribed.
         """
         token_retransmits: dict[int, int] = {}
+        retransmits_this_round = 0
+        acks_this_round = 0
         for neighbor in self.neighbors:
             link = self.out[neighbor]
             due = link.due(round_number)
             tokens_sent = 0
             control_sent = 0
             for seq in due:
-                kind, fields, _ = link.unacked[seq]
+                kind, fields, _, _ = link.unacked[seq]
                 is_token = kind in self.token_kinds
                 if is_token:
                     if tokens_sent >= self.token_budget:
@@ -278,6 +305,7 @@ class ReliableChannel:
                 )
                 link.touch(seq, round_number)
                 self.stats.retransmissions += 1
+                retransmits_this_round += 1
                 if is_token:
                     tokens_sent += 1
                 else:
@@ -300,8 +328,19 @@ class ReliableChannel:
                 )
                 inlink.ack_due = False
                 self.stats.acks_sent += 1
+                acks_this_round += 1
             if tokens_sent:
                 token_retransmits[neighbor] = tokens_sent
+        if self._instruments is not None:
+            if retransmits_this_round:
+                self._instruments.bump_round(
+                    "retransmissions", round_number, retransmits_this_round
+                )
+            if acks_this_round:
+                self._instruments.bump_round(
+                    "acks", round_number, acks_this_round
+                )
+            self._instruments.observe("arq_window", self.unacked_count)
         return token_retransmits
 
     # ------------------------------------------------------------------

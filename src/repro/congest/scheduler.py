@@ -40,6 +40,7 @@ from repro.congest.trace import NullTracer, Tracer
 from repro.congest.transport import BandwidthPolicy, BulkOutbox, RoundOutbox
 from repro.graphs.graph import Graph
 from repro.graphs.properties import is_connected
+from repro.obs.spans import NULL_PROFILER
 
 ProgramFactory = Callable[[NodeInfo, np.random.Generator], NodeProgram]
 
@@ -87,7 +88,20 @@ class Simulator:
         Keep the full per-round message log (needed for cut-bit counting
         in the lower-bound experiments; memory-heavy otherwise).
     tracer:
-        Optional :class:`Tracer` for debugging.
+        Optional :class:`Tracer` for debugging.  Both execution loops
+        emit the same ``deliver`` events (the fast path expands its
+        aggregate rows into per-message events at delivery time), so a
+        tracer no longer forces per-message dispatch; event *order*
+        within a round may differ between loops.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When set, the run
+        records phase/kernel wall-clock spans, a per-round wall series,
+        and instrument histograms (per-edge bits/messages, plus ARQ and
+        fault counters when those layers are active).  Telemetry is
+        observation-only: it never affects protocol decisions, round
+        counts, randomness, or fast-path eligibility, so telemetry-on
+        and telemetry-off runs are byte-identical (pinned by
+        ``tests/test_obs_neutrality.py``).
     require_connected:
         Reject disconnected topologies up front (random walk betweenness
         is undefined across components).
@@ -110,9 +124,10 @@ class Simulator:
         Fast-path selection.  ``None`` (default) auto-selects: the
         vectorized loop runs when every program is a
         :class:`VectorizedProgram` and nothing demands per-message
-        fidelity (``record_messages`` or a tracer force the per-message
-        loop; fault injection does *not* - the fast path applies the
-        same seeded fault schedule to its aggregate arrays).
+        fidelity (``record_messages`` forces the per-message loop;
+        tracers, telemetry, and fault injection do *not* - the fast
+        path emits the same trace events and applies the same seeded
+        fault schedule on its aggregate arrays).
         ``False`` always runs the per-message loop; ``True`` requires
         the fast path and raises :class:`ConfigError` when it is
         unavailable.  Both loops produce identical results for the same
@@ -134,6 +149,7 @@ class Simulator:
         drop_rate: float = 0.0,
         faults: FaultPlan | None = None,
         vectorized: bool | None = None,
+        telemetry=None,
     ) -> None:
         if graph.num_nodes == 0:
             raise ConfigError("cannot simulate the empty graph")
@@ -176,6 +192,13 @@ class Simulator:
         self._seed = seed
         self._factory = program_factory
         self.vectorized = vectorized
+        self.telemetry = telemetry
+        self._profiler = (
+            telemetry.profiler if telemetry is not None else NULL_PROFILER
+        )
+        self._instruments = (
+            telemetry.instruments if telemetry is not None else None
+        )
 
     def _build_programs(self) -> dict[int, NodeProgram]:
         master = np.random.default_rng(self._seed)
@@ -202,11 +225,11 @@ class Simulator:
             reasons.append("not every program is a VectorizedProgram")
         if self.record_messages:
             reasons.append("record_messages needs materialized messages")
-        if not isinstance(self.tracer, NullTracer):
-            reasons.append("a tracer observes individual deliveries")
-        # Fault injection deliberately does NOT appear here: the fast
-        # path applies the same seeded FaultPlan to its aggregate
-        # arrays (see FaultRuntime), so faulty runs keep the speedup.
+        # Neither tracers, telemetry, nor fault injection appear here:
+        # the fast path expands its aggregate rows into the same
+        # ``deliver`` trace events, records the same spans/instruments,
+        # and applies the same seeded FaultPlan (see FaultRuntime), so
+        # observed and faulty runs keep the speedup.
         return reasons
 
     def run(self) -> SimulationResult:
@@ -236,7 +259,8 @@ class Simulator:
                     + "; ".join(reasons)
                 )
             fallback_reasons = tuple(reasons)
-        metrics = RunMetrics()
+        metrics = RunMetrics(instruments=self._instruments)
+        profiler = self._profiler
         message_log: list[list[Message]] = []
         outbox = RoundOutbox(self.policy)
         order = self.graph.canonical_order()
@@ -259,6 +283,7 @@ class Simulator:
             if all_halted and not in_flight and not pending_delayed:
                 break
             round_number += 1
+            profiler.round_tick(round_number)
             if round_number > self.max_rounds:
                 error_cls = (
                     UnrecoverableLossError
@@ -274,41 +299,53 @@ class Simulator:
             # Deliver last round's messages through the fault plan.
             crashed_now: frozenset[int] = frozenset()
             if fault_rt is not None:
-                crashed_now = fault_rt.crashed(round_number)
-                fault_rt.note_crash_rounds(len(crashed_now))
-                fault_rt.begin_round(round_number)
-                in_flight = fault_rt.filter_messages(round_number, in_flight)
-                matured, _ = fault_rt.take_delayed(round_number)
-                in_flight = in_flight + matured
-            inboxes: dict[int, list[Message]] = {node: [] for node in order}
-            for message in in_flight:
-                inboxes[message.receiver].append(message)
-                self.tracer.record(
-                    round_number,
-                    message.receiver,
-                    "deliver",
-                    message.kind,
-                    message.sender,
-                )
-            metrics.record_round(in_flight)
+                with profiler.span("faults.filter"):
+                    crashed_now = fault_rt.crashed(round_number)
+                    fault_rt.note_crash_rounds(len(crashed_now))
+                    fault_rt.begin_round(round_number)
+                    in_flight = fault_rt.filter_messages(
+                        round_number, in_flight
+                    )
+                    matured, _ = fault_rt.take_delayed(round_number)
+                    in_flight = in_flight + matured
+                if self._instruments is not None:
+                    self._instruments.record_fault_counters(
+                        round_number, fault_rt.counters.snapshot()
+                    )
+            with profiler.span("deliver"):
+                inboxes: dict[int, list[Message]] = {
+                    node: [] for node in order
+                }
+                for message in in_flight:
+                    inboxes[message.receiver].append(message)
+                    self.tracer.record(
+                        round_number,
+                        message.receiver,
+                        "deliver",
+                        message.kind,
+                        message.sender,
+                    )
+                metrics.record_round(in_flight)
             if self.record_messages:
                 message_log.append(in_flight)
             # Every node acts each round; receiving mail un-halts a node.
-            for node in order:
-                if node in crashed_now:
-                    continue  # down: executes nothing, sends nothing
-                program = programs[node]
-                inbox = inboxes[node]
-                if program.halted and not inbox:
-                    continue
-                if program.halted and inbox:
-                    program.unhalt()
-                ctx = RoundContext(
-                    node, program.neighbors, outbox, round_number
-                )
-                program.on_round(ctx, inbox)
+            with profiler.span("nodes"):
+                for node in order:
+                    if node in crashed_now:
+                        continue  # down: executes nothing, sends nothing
+                    program = programs[node]
+                    inbox = inboxes[node]
+                    if program.halted and not inbox:
+                        continue
+                    if program.halted and inbox:
+                        program.unhalt()
+                    ctx = RoundContext(
+                        node, program.neighbors, outbox, round_number
+                    )
+                    program.on_round(ctx, inbox)
             in_flight = outbox.drain()
 
+        profiler.run_finished()
         if fault_rt is not None:
             metrics.faults = fault_rt.counters.summary()
         return SimulationResult(
@@ -340,13 +377,16 @@ class Simulator:
         loop would have recorded.
         """
         n = self.graph.num_nodes
-        metrics = RunMetrics()
+        metrics = RunMetrics(instruments=self._instruments)
+        profiler = self._profiler
         outbox = RoundOutbox(self.policy)
         bulk_outbox = BulkOutbox(self.policy)
         order = self.graph.canonical_order()
         shared = SharedFastPathState()
         fault_rt = None if self.faults.is_trivial else FaultRuntime(self.faults)
         shared.fault_runtime = fault_rt
+        shared.profiler = profiler
+        shared.instruments = self._instruments
         # One context per node, reused across rounds (only the round
         # number changes); constructing ~n of these per round would be
         # measurable overhead at scale.
@@ -398,6 +438,7 @@ class Simulator:
             ):
                 break
             round_number += 1
+            profiler.round_tick(round_number)
             if round_number > self.max_rounds:
                 error_cls = (
                     UnrecoverableLossError
@@ -413,19 +454,41 @@ class Simulator:
                 )
             crashed_now: frozenset[int] = frozenset()
             if fault_rt is not None:
-                # Same application order as the per-message loop:
-                # control messages first, then bulk rows (indices
-                # continue across the two), then matured delayed
-                # traffic; the replacement traffic numbers reflect what
-                # was actually delivered.
-                crashed_now = fault_rt.crashed(round_number)
-                fault_rt.note_crash_rounds(len(crashed_now))
-                fault_rt.begin_round(round_number)
-                in_flight = fault_rt.filter_messages(round_number, in_flight)
-                in_flight, bulk_in_flight = bulk_in_flight.apply_faults(
-                    fault_rt, round_number, n, in_flight
-                )
+                with profiler.span("faults.filter"):
+                    # Same application order as the per-message loop:
+                    # control messages first, then bulk rows (indices
+                    # continue across the two), then matured delayed
+                    # traffic; the replacement traffic numbers reflect
+                    # what was actually delivered.
+                    crashed_now = fault_rt.crashed(round_number)
+                    fault_rt.note_crash_rounds(len(crashed_now))
+                    fault_rt.begin_round(round_number)
+                    in_flight = fault_rt.filter_messages(
+                        round_number, in_flight
+                    )
+                    in_flight, bulk_in_flight = bulk_in_flight.apply_faults(
+                        fault_rt, round_number, n, in_flight
+                    )
+                if self._instruments is not None:
+                    self._instruments.record_fault_counters(
+                        round_number, fault_rt.counters.snapshot()
+                    )
             metrics.record_round_aggregate(bulk_in_flight.traffic)
+            if not isinstance(self.tracer, NullTracer):
+                # Expand this round's deliveries into the same per-
+                # message trace events the slow loop records (order is
+                # kind-major rather than delivery order; equivalence
+                # tests compare sorted streams).  Done before the
+                # claimed-kind divert so driver traffic is traced too.
+                for message in in_flight:
+                    self.tracer.record(
+                        round_number,
+                        message.receiver,
+                        "deliver",
+                        message.kind,
+                        message.sender,
+                    )
+                bulk_in_flight.trace_into(self.tracer, round_number)
             # Divert driver-claimed kinds before the per-receiver split;
             # the claiming driver gets them whole at end of round.
             claimed_traffic: dict[int, dict[str, tuple]] = {}
@@ -436,38 +499,42 @@ class Simulator:
                         claimed_traffic.setdefault(id(driver), {})[
                             kind
                         ] = data
-            inboxes: dict[int, list[Message]] = {}
-            for message in in_flight:
-                inboxes.setdefault(message.receiver, []).append(message)
-            bulk_inboxes = bulk_in_flight.group_by_receiver()
-            for node in order:
-                if node in crashed_now:
-                    continue  # down: executes nothing, sends nothing
-                program = programs[node]
-                inbox = inboxes.get(node)
-                bulk = bulk_inboxes.get(node)
-                has_mail = inbox is not None or bulk is not None
-                if program.halted:
-                    if not has_mail:
+            with profiler.span("deliver"):
+                inboxes: dict[int, list[Message]] = {}
+                for message in in_flight:
+                    inboxes.setdefault(message.receiver, []).append(message)
+                bulk_inboxes = bulk_in_flight.group_by_receiver()
+            with profiler.span("nodes"):
+                for node in order:
+                    if node in crashed_now:
+                        continue  # down: executes nothing, sends nothing
+                    program = programs[node]
+                    inbox = inboxes.get(node)
+                    bulk = bulk_inboxes.get(node)
+                    has_mail = inbox is not None or bulk is not None
+                    if program.halted:
+                        if not has_mail:
+                            continue
+                        program.unhalt()
+                    elif not has_mail and program.bulk_idle:
                         continue
-                    program.unhalt()
-                elif not has_mail and program.bulk_idle:
-                    continue
-                ctx = contexts[node]
-                ctx.round_number = round_number
-                program.on_bulk_round(ctx, inbox or [], bulk)
+                    ctx = contexts[node]
+                    ctx.round_number = round_number
+                    program.on_bulk_round(ctx, inbox or [], bulk)
             if known_drivers != len(shared.drivers):
                 refresh_claims()
-            for driver in shared.drivers:
-                driver.end_round(
-                    round_number,
-                    claimed_traffic.get(id(driver), {}),
-                    outbox,
-                    bulk_outbox,
-                )
+            with profiler.span("drivers"):
+                for driver in shared.drivers:
+                    driver.end_round(
+                        round_number,
+                        claimed_traffic.get(id(driver), {}),
+                        outbox,
+                        bulk_outbox,
+                    )
             in_flight = outbox.drain()
             bulk_in_flight = bulk_outbox.drain(n, in_flight)
 
+        profiler.run_finished()
         if fault_rt is not None:
             metrics.faults = fault_rt.counters.summary()
         return SimulationResult(

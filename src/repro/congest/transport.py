@@ -129,13 +129,26 @@ BulkInbox = dict[str, BulkKindInbox]
 
 @dataclass(frozen=True)
 class RoundTraffic:
-    """One round's merged accounting (bulk + control), for RunMetrics."""
+    """One round's merged accounting (bulk + control), for RunMetrics.
+
+    ``edge_messages`` / ``edge_bits`` are the per-directed-edge loads
+    behind the maxima (one entry per edge that carried traffic, order
+    unspecified).  They ride along for telemetry - RunMetrics folds them
+    into histograms when instruments are attached - and are excluded
+    from equality so traffic comparisons stay by-the-numbers.
+    """
 
     total_messages: int = 0
     total_bits: int = 0
     max_edge_messages: int = 0
     max_edge_bits: int = 0
     max_message_bits: int = 0
+    edge_messages: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+    edge_bits: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
 
 
 @dataclass
@@ -282,6 +295,26 @@ class BulkRound:
             kinds, receivers_by_kind, row_bits_by_kind, traffic
         )
 
+    def trace_into(self, tracer, round_number: int) -> None:
+        """Emit one ``deliver`` trace event per materialized message of
+        this round's bulk traffic - the same ``(round, receiver,
+        "deliver", kind, sender)`` tuples the per-message loop records,
+        with multiplicity expanded.  Called by the fast path before any
+        driver claims traffic, so claimed kinds are traced too.  Event
+        *order* differs from the slow loop (kind-major here, delivery
+        order there); equivalence tests compare sorted streams."""
+        for kind, batch in self._kinds.items():
+            receivers = self._receivers[kind]
+            senders = batch.senders
+            multiplicity = batch.multiplicity
+            for i in range(len(receivers)):
+                receiver = int(receivers[i])
+                sender = int(senders[i])
+                for _ in range(int(multiplicity[i])):
+                    tracer.record(
+                        round_number, receiver, "deliver", kind, sender
+                    )
+
     def group_by_receiver(self) -> dict[int, BulkInbox]:
         """Split the round's traffic into per-node bulk inboxes."""
         inboxes: dict[int, BulkInbox] = {}
@@ -354,6 +387,8 @@ def _delivered_traffic(
         max_edge_messages=int(edge_messages.max()),
         max_edge_bits=int(edge_bits.max()),
         max_message_bits=max_message_bits,
+        edge_messages=edge_messages.astype(np.int64),
+        edge_bits=edge_bits.astype(np.int64),
     )
 
 
@@ -505,5 +540,7 @@ class BulkOutbox:
             max_edge_messages=max_edge_messages,
             max_edge_bits=int(edge_bits.max()),
             max_message_bits=max_message_bits,
+            edge_messages=edge_messages.astype(np.int64),
+            edge_bits=edge_bits.astype(np.int64),
         )
         return BulkRound(kinds, receivers_by_kind, row_bits_by_kind, traffic)

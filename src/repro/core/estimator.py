@@ -65,6 +65,8 @@ def estimate_rwbc_distributed(
     split_sampling: bool = False,
     vectorized: bool | None = None,
     faults: FaultPlan | None = None,
+    telemetry=None,
+    tracer=None,
 ) -> DistributedRWBCResult:
     """Run the paper's full distributed algorithm on the CONGEST simulator.
 
@@ -104,6 +106,17 @@ def estimate_rwbc_distributed(
         windows.  Crash windows must end (no crash-stop: a node that
         never returns can never launch or certify its walks) and must
         not cover the launch round ``2 * setup_slack * n``.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  The run then records
+        wall-clock spans, a per-round wall series, and instrument
+        histograms/counters; the populated object rides back on
+        ``result.telemetry``, and ``repro.obs.export`` can serialize it
+        (``repro observe run`` does exactly this).  Observation-only:
+        telemetry-on and telemetry-off runs are byte-identical.
+    tracer:
+        Optional :class:`~repro.congest.trace.Tracer`; records per-
+        message ``deliver`` events on either execution loop (a tracer
+        no longer forces per-message dispatch).
     """
     if graph.num_nodes < 2:
         raise GraphError("need at least 2 nodes")
@@ -124,6 +137,9 @@ def estimate_rwbc_distributed(
         survival_alpha=survival_alpha,
         split_sampling=split_sampling,
         reliable=reliable,
+        instruments=(
+            telemetry.instruments if telemetry is not None else None
+        ),
     )
     if reliable:
         _validate_crash_windows(faults, n, config.setup_slack)
@@ -143,6 +159,8 @@ def estimate_rwbc_distributed(
         record_messages=record_messages,
         vectorized=vectorized,
         faults=faults,
+        telemetry=telemetry,
+        tracer=tracer,
     )
     result = simulator.run()
 
@@ -193,6 +211,7 @@ def estimate_rwbc_distributed(
         message_log=result.message_log,
         recovery=recovery,
         fallback_reasons=result.fallback_reasons,
+        telemetry=telemetry,
     )
 
 

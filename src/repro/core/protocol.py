@@ -32,7 +32,7 @@ arbitrary graphs first); source ids double as count-vector indices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -126,6 +126,12 @@ class ProtocolConfig:
         giving the flood and adopt waves time to win against message
         loss (a dropped control message retries every
         :data:`~repro.congest.reliable.RETRANSMIT_AFTER` rounds).
+    instruments:
+        Optional ``repro.obs.InstrumentSet`` shared by every node:
+        walk-send counters and the ARQ's window/retransmit/latency
+        instruments write into it.  Observation-only - no protocol
+        decision ever reads it - and excluded from equality/hash, so
+        two configs differing only in telemetry are the same config.
     """
 
     length: int
@@ -139,6 +145,9 @@ class ProtocolConfig:
     split_sampling: bool = False
     reliable: bool = False
     setup_slack: int = 6
+    instruments: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.length < 1:
@@ -261,6 +270,7 @@ class RWBCNodeProgram(VectorizedProgram):
                 token_budget=config.walk_budget,
                 token_kinds=frozenset({KIND_WALK, KIND_WALK_BATCH}),
                 latest_kinds=frozenset({KIND_FLOOD, KIND_TERM, KIND_DONE}),
+                instruments=config.instruments,
             )
         # Outputs.
         self.betweenness: float | None = None
@@ -651,7 +661,7 @@ class RWBCNodeProgram(VectorizedProgram):
             self._counting_sends(ctx)
 
     def _counting_sends(self, ctx: RoundContext) -> None:
-        self._walks.send_round(ctx)
+        self._walks.send_round(ctx, instruments=self.config.instruments)
         self._death_counter.maybe_report(ctx)
 
     def _reliable_counting_sends(self, ctx: RoundContext) -> None:
@@ -668,7 +678,10 @@ class RWBCNodeProgram(VectorizedProgram):
             neighbor: self.config.walk_budget - retransmits.get(neighbor, 0)
             for neighbor in self.neighbors
         }
-        self._walks.send_round(ctx, self._channel, budgets)
+        self._walks.send_round(
+            ctx, self._channel, budgets,
+            instruments=self.config.instruments,
+        )
 
     def _store_exchange(self, sender: int, payload: tuple[int, ...]) -> None:
         """Fold one fresh (deduplicated) exchange column from a

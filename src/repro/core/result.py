@@ -60,6 +60,10 @@ class DistributedRWBCResult:
     # Why the scheduler fell back to per-message dispatch (empty when
     # the vectorized fast path ran).
     fallback_reasons: tuple = ()
+    # The repro.obs.Telemetry the run was observed with (spans +
+    # instruments), when the caller passed one; None otherwise.  Pure
+    # observation - never part of the estimate.
+    telemetry: object | None = None
 
     def as_array(self, graph: Graph) -> np.ndarray:
         """Estimates in the graph's canonical node order."""

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
+from repro.obs.spans import NULL_PROFILER
 from repro.core.termination import KIND_TERM, DeathCounterLogic
 from repro.core.walk_manager import (
     KIND_WALK,
@@ -99,6 +100,11 @@ class CountingWalkEngine:
         self._control_arrivals: list[tuple[int, int, int, int, int]] = []
         self._transitioned: set[int] = set()
         self._fault_runtime = None
+        # Telemetry (observation-only; installed from ctx.shared at
+        # register time).  Spans time the engine's kernels; instruments
+        # count emitted walk messages.  Never read back by the protocol.
+        self._profiler = NULL_PROFILER
+        self._instruments = None
         # Pending-token table, one row per queued group:
         # (edge id, arrival seq, source, remaining_here, half, count).
         # Rows with equal edge id in ascending seq order ARE that
@@ -153,8 +159,11 @@ class CountingWalkEngine:
         if channel is not None:
             self._reliable = True
         shared = getattr(ctx, "shared", None)
-        if shared is not None and self._fault_runtime is None:
-            self._fault_runtime = shared.fault_runtime
+        if shared is not None:
+            if self._fault_runtime is None:
+                self._fault_runtime = shared.fault_runtime
+            self._profiler = shared.profiler
+            self._instruments = shared.instruments
 
     def touch(self, node: int) -> None:
         """Mark a node as active this round (it ran for control mail),
@@ -194,24 +203,32 @@ class CountingWalkEngine:
     ) -> None:
         if not self._finalized:
             self._finalize()
+        profiler = self._profiler
         crashed = (
             self._fault_runtime.crashed(round_number)
             if self._fault_runtime is not None
             else frozenset()
         )
         if self._reliable and claimed:
-            claimed = self._dedup_claimed(claimed)
+            with profiler.span("engine.dedup"):
+                claimed = self._dedup_claimed(claimed)
         if claimed or self._control_arrivals:
-            dead = self._process_arrivals(claimed)
+            with profiler.span("engine.arrivals"):
+                dead = self._process_arrivals(claimed)
         else:
             dead = ()
         if self._touched or len(dead):
-            self._post_round(round_number, outbox, dead)
+            with profiler.span("engine.post_round"):
+                self._post_round(round_number, outbox, dead)
         retransmits = None
         if self._reliable:
-            retransmits = self._flush_channels(round_number, outbox, crashed)
+            with profiler.span("engine.arq_flush"):
+                retransmits = self._flush_channels(
+                    round_number, outbox, crashed
+                )
         if len(self._pending):
-            self._emit(bulk_outbox, round_number, retransmits, crashed)
+            with profiler.span("engine.emit"):
+                self._emit(bulk_outbox, round_number, retransmits, crashed)
 
     # ------------------------------------------------------------------
     # Internals
@@ -604,6 +621,18 @@ class CountingWalkEngine:
         edge_ids = sent[:, 0]
         senders = self._edge_src[edge_ids]
         np.subtract.at(self.held, senders, taken)
+        if self._instruments is not None:
+            # Same message-count convention as WalkManager.send_round:
+            # QUEUE ships one message per token, BATCH one per group.
+            sent_messages = (
+                int(taken.sum())
+                if self._policy is TransportPolicy.QUEUE
+                else len(sent)
+            )
+            if sent_messages:
+                self._instruments.bump_round(
+                    "walk_sends", round_number, sent_messages
+                )
         if self._reliable:
             self._emit_reliable(
                 bulk_outbox, round_number, sent, taken, senders

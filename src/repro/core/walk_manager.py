@@ -311,6 +311,7 @@ class WalkManager:
         ctx: RoundContext,
         channel=None,
         budgets: dict[int, int] | None = None,
+        instruments=None,
     ) -> int:
         """Emit this round's walk messages; return how many were sent.
 
@@ -323,7 +324,9 @@ class WalkManager:
         token message is sequenced through ``channel.register_sent`` and
         carries its seq as the last field; under QUEUE that forces one
         token per message (each needs its own seq).  ``budgets`` is
-        forwarded to :meth:`emit_round`.
+        forwarded to :meth:`emit_round`.  ``instruments`` (a
+        ``repro.obs.InstrumentSet``) receives the sent count in its
+        ``walk_sends`` round counter - observation only.
         """
         entries = self.emit_round(budgets)
         if not entries:
@@ -373,6 +376,8 @@ class WalkManager:
                         count,
                     )
                 sent += 1
+        if instruments is not None and sent:
+            instruments.bump_round("walk_sends", ctx.round_number, sent)
         return sent
 
     # ------------------------------------------------------------------

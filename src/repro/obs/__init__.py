@@ -1,0 +1,55 @@
+"""Observability layer: span profiling, instruments, and run artifacts.
+
+The package is deliberately a leaf: nothing in ``repro.congest`` or
+``repro.core`` is imported here, so protocol modules can depend on the
+observability primitives without cycles.
+
+Typical use::
+
+    from repro.obs import Telemetry
+    from repro.obs.export import write_artifact
+
+    telemetry = Telemetry()
+    result = estimate_rwbc_distributed(graph, params, seed=0, telemetry=telemetry)
+    write_artifact("run.jsonl", result, meta={"graph": "er", "n": graph.num_nodes})
+
+or, from the command line, ``repro observe run`` / ``report`` / ``diff``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.instruments import InstrumentSet, Log2Histogram
+from repro.obs.spans import NULL_PROFILER, NullProfiler, SpanProfiler
+
+__all__ = [
+    "NULL_PROFILER",
+    "InstrumentSet",
+    "Log2Histogram",
+    "NullProfiler",
+    "SpanProfiler",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """Umbrella handle bundling the profiler and instruments for one run.
+
+    Pass an instance to :func:`repro.core.estimator.estimate_rwbc_distributed`
+    (or construct a :class:`repro.congest.scheduler.Simulator` with
+    ``telemetry=``) to record spans, per-round wall clock, and instrument
+    histograms.  The same object comes back on
+    ``DistributedRWBCResult.telemetry`` and feeds the JSONL exporter.
+
+    Telemetry is observation-only: enabling it never changes protocol
+    decisions, message contents, round counts, or random draws.
+    """
+
+    def __init__(
+        self,
+        profiler: SpanProfiler | None = None,
+        instruments: InstrumentSet | None = None,
+    ) -> None:
+        self.profiler = profiler if profiler is not None else SpanProfiler()
+        self.instruments = instruments if instruments is not None else InstrumentSet()
+        #: Free-form run metadata folded into the exported header.
+        self.meta: dict = {}

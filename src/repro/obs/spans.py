@@ -1,0 +1,172 @@
+"""Low-overhead span profiler for simulated runs.
+
+A :class:`SpanProfiler` records two kinds of timing data:
+
+* **named spans** - nested wall-clock sections around the scheduler's and
+  the walk engine's hot kernels (fault filtering, delivery splitting,
+  the per-node loop, ARQ flush, bulk emission, ...).  Spans nest: a span
+  opened while another is active is recorded under the slash-joined path
+  of its ancestors (``drivers/engine.emit``), which is what the
+  ``observe report`` flame summary renders;
+* **a per-round wall-clock series** - one float per simulated round,
+  which the exporter later slices into protocol phases (setup /
+  counting / exchange / drain) using the run's phase boundaries.
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* telemetry must never influence protocol decisions or randomness, so
+  the profiler only ever *reads* the clock and writes into its own
+  containers;
+* overhead must stay well under 10% of a fault-free fast-path run, so a
+  span enter/exit is two ``perf_counter`` calls, one list append, and
+  one dict update - no allocation on the hot path beyond the first use
+  of each span name.
+
+:data:`NULL_PROFILER` is the shared no-op used whenever telemetry is
+off; it exposes the same surface so call sites never branch.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = [
+    "NULL_PROFILER",
+    "NullProfiler",
+    "SpanProfiler",
+]
+
+
+class _SpanHandle:
+    """Reusable context manager for one span name.
+
+    Handles are cached per name and not re-entrant (the scheduler never
+    nests a span inside itself).  The full path is resolved at exit from
+    the profiler's live stack, so the same handle records correctly
+    under any parent.
+    """
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "SpanProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._profiler._stack.append(self._name)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = perf_counter() - self._start
+        profiler = self._profiler
+        path = "/".join(profiler._stack)
+        profiler._stack.pop()
+        stats = profiler._spans.get(path)
+        if stats is None:
+            profiler._spans[path] = [1, wall]
+        else:
+            stats[0] += 1
+            stats[1] += wall
+
+
+class SpanProfiler:
+    """Nested wall-clock spans plus a per-round wall series."""
+
+    def __init__(self) -> None:
+        self._spans: dict[str, list] = {}  # path -> [count, wall_seconds]
+        self._stack: list[str] = []
+        self._handles: dict[str, _SpanHandle] = {}
+        #: Wall seconds per simulated round; index ``i`` is round
+        #: ``i + 1`` (round 0's on_start work folds into round 1).
+        self.round_wall: list[float] = []
+        self._round_mark: float | None = None
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _SpanHandle:
+        """Context manager timing one named section."""
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = _SpanHandle(self, name)
+            self._handles[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # Round series
+    # ------------------------------------------------------------------
+    def round_tick(self, round_number: int) -> None:
+        """Mark the start of a round; closes the previous round's
+        timing.  ``round_number`` is accepted for symmetry/debugging but
+        the series is positional (rounds are contiguous from 1)."""
+        now = perf_counter()
+        if self._round_mark is not None:
+            self.round_wall.append(now - self._round_mark)
+        self._round_mark = now
+
+    def run_finished(self) -> None:
+        """Close the final round's timing."""
+        if self._round_mark is not None:
+            self.round_wall.append(perf_counter() - self._round_mark)
+            self._round_mark = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``path -> {count, wall_s}`` for every recorded span."""
+        return {
+            path: {"count": stats[0], "wall_s": stats[1]}
+            for path, stats in self._spans.items()
+        }
+
+    @property
+    def total_round_wall(self) -> float:
+        return sum(self.round_wall)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProfiler:
+    """No-op stand-in with the :class:`SpanProfiler` surface."""
+
+    round_wall: list[float] = []
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def round_tick(self, round_number: int) -> None:
+        return None
+
+    def run_finished(self) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
+
+    @property
+    def total_round_wall(self) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op profiler used whenever telemetry is disabled.
+NULL_PROFILER = NullProfiler()

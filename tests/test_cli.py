@@ -119,6 +119,110 @@ class TestEdgesAndCommunities:
         assert main(["communities", "--family", "path", "--n", "3", "--k", "9"]) == 2
 
 
+class TestObserve:
+    def _run_artifact(self, tmp_path, *extra):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "observe",
+                "run",
+                "--graph",
+                "er",
+                "--n",
+                "20",
+                "--length",
+                "15",
+                "--walks",
+                "4",
+                "--seed",
+                "5",
+                "--out",
+                str(path),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        path = self._run_artifact(tmp_path)
+        out = capsys.readouterr().out
+        assert "observed run" in out
+        assert path.exists()
+
+    def test_run_artifact_validates(self, tmp_path, capsys):
+        from repro.obs.export import read_artifact
+
+        path = self._run_artifact(tmp_path)
+        artifact = read_artifact(path)
+        assert artifact.header["meta"]["graph"] == "er"
+        assert artifact.header["meta"]["n"] == 20
+        assert artifact.spans
+
+    def test_report(self, tmp_path, capsys):
+        path = self._run_artifact(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "counting" in out
+        assert "spans" in out
+
+    def test_diff(self, tmp_path, capsys):
+        path = self._run_artifact(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", "diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_trace_and_slow(self, tmp_path, capsys):
+        from repro.obs.export import read_artifact
+
+        path = self._run_artifact(tmp_path, "--slow", "--trace")
+        artifact = read_artifact(path)
+        assert artifact.trace_summary is not None
+        assert artifact.trace
+
+    def test_missing_artifact_is_error(self, tmp_path, capsys):
+        assert main(["observe", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_artifact_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "header", "schema": "other/1"}\n')
+        assert main(["observe", "report", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_observe(self, tmp_path, capsys):
+        from repro.obs.export import read_artifact
+
+        path = tmp_path / "chaos.jsonl"
+        code = main(
+            [
+                "chaos",
+                "--family",
+                "er",
+                "--n",
+                "20",
+                "--length",
+                "15",
+                "--walks",
+                "4",
+                "--drop",
+                "0.05",
+                "--observe",
+                str(path),
+            ]
+        )
+        assert code == 0
+        artifact = read_artifact(path)
+        assert "faults" in artifact.header["meta"]
+        totals = artifact.summary["metrics"]
+        assert totals.get("faults_dropped", 0) > 0
+        assert "retransmissions" in {
+            name for name in artifact.series
+        }
+
+
 class TestErrors:
     def test_no_source(self, capsys):
         assert main(["exact"]) == 0 or True  # default --n without family

@@ -96,3 +96,34 @@ class TestOnRealRun:
     def test_timeline_on_real_log(self, log):
         text = ascii_timeline(log)
         assert f"rounds 1..{len(log)}" in text
+
+
+class TestTracerLoopEquivalence:
+    """Both scheduler loops emit the same deliver event stream.
+
+    The fast path expands its aggregate rows kind-major rather than in
+    delivery order, so the pinned equivalence is on the *sorted*
+    streams: same multiset of (round, receiver, kind, sender) events.
+    """
+
+    def test_fast_and_slow_deliver_streams_match(self):
+        from repro.congest.trace import Tracer
+
+        graph = erdos_renyi_graph(10, 0.35, seed=30, ensure_connected=True)
+        parameters = WalkParameters(length=30, walks_per_source=6)
+        streams = {}
+        for label, vectorized in (("fast", None), ("slow", False)):
+            tracer = Tracer(max_events=1_000_000)
+            result = estimate_rwbc_distributed(
+                graph,
+                parameters,
+                seed=30,
+                tracer=tracer,
+                vectorized=vectorized,
+            )
+            if label == "fast":
+                assert not result.fallback_reasons
+            assert tracer.dropped == 0
+            assert all(e.event == "deliver" for e in tracer.events)
+            streams[label] = sorted(tracer.events)
+        assert streams["fast"] == streams["slow"]

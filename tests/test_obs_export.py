@@ -1,0 +1,235 @@
+"""Tests for JSONL artifact export, validation, diff, and reports."""
+
+import json
+
+import pytest
+
+from repro.congest.trace import Tracer
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.graphs.generators import erdos_renyi_graph
+from repro.obs import Telemetry
+from repro.obs.export import (
+    SCHEMA,
+    SchemaError,
+    build_records,
+    diff_artifacts,
+    phase_windows,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.obs.report import render_diff, render_report
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    graph = erdos_renyi_graph(12, 0.3, seed=7, ensure_connected=True)
+    telemetry = Telemetry()
+    tracer = Tracer(max_events=100_000)
+    result = estimate_rwbc_distributed(
+        graph,
+        WalkParameters(length=20, walks_per_source=4),
+        seed=9,
+        telemetry=telemetry,
+        tracer=tracer,
+    )
+    return result, tracer
+
+
+@pytest.fixture()
+def artifact_path(observed_run, tmp_path):
+    result, tracer = observed_run
+    path = tmp_path / "run.jsonl"
+    count = write_artifact(
+        path, result, meta={"graph": "er", "n": 12}, tracer=tracer
+    )
+    assert count > 0
+    return path
+
+
+class TestPhaseWindows:
+    def test_full_breakdown(self):
+        windows = phase_windows(
+            {"setup": 3, "counting": 10, "exchange": 4, "total": 17}
+        )
+        assert windows == [
+            ("setup", 1, 3),
+            ("counting", 4, 13),
+            ("exchange", 14, 17),
+        ]
+
+    def test_drain_phase_from_total(self):
+        windows = phase_windows(
+            {"setup": 2, "counting": 5, "exchange": 3, "total": 14}
+        )
+        assert windows[-1] == ("drain", 11, 14)
+
+    def test_empty_phases_omitted(self):
+        windows = phase_windows({"setup": 0, "counting": 4, "total": 4})
+        assert windows == [("counting", 1, 4)]
+
+
+class TestRoundTrip:
+    def test_read_back(self, observed_run, artifact_path):
+        result, tracer = observed_run
+        artifact = read_artifact(artifact_path)
+        assert artifact.header["schema"] == SCHEMA
+        assert artifact.header["meta"] == {"graph": "er", "n": 12}
+        assert artifact.rounds == result.metrics.rounds
+        assert artifact.summary["metrics"]["rounds"] == result.metrics.rounds
+        assert len(artifact.series["messages_per_round"]) == artifact.rounds
+        assert len(artifact.series["bits_per_round"]) == artifact.rounds
+        # Telemetry was attached, so wall clock is attributed per round.
+        assert len(artifact.series["wall_per_round"]) == artifact.rounds
+        assert artifact.phases, "phase records missing"
+        phase_names = [phase["name"] for phase in artifact.phases]
+        assert "counting" in phase_names
+        assert artifact.spans, "span records missing"
+        assert "bits_per_edge_round" in artifact.instruments
+        assert artifact.trace_summary["events"] == len(tracer.events)
+        assert len(artifact.trace) == len(tracer.events)
+
+    def test_phase_totals_cover_run(self, observed_run, artifact_path):
+        result, _ = observed_run
+        artifact = read_artifact(artifact_path)
+        assert (
+            sum(phase["messages"] for phase in artifact.phases)
+            == result.metrics.total_messages
+        )
+        assert (
+            sum(phase["bits"] for phase in artifact.phases)
+            == result.metrics.total_bits
+        )
+
+    def test_json_plain_values(self, artifact_path):
+        # Every line must survive a strict JSON round trip (no numpy).
+        for line in artifact_path.read_text().splitlines():
+            record = json.loads(line)
+            assert isinstance(record["record"], str)
+
+    def test_export_without_telemetry(self, tmp_path):
+        graph = erdos_renyi_graph(10, 0.35, seed=3, ensure_connected=True)
+        result = estimate_rwbc_distributed(
+            graph, WalkParameters(length=15, walks_per_source=3), seed=4
+        )
+        path = tmp_path / "bare.jsonl"
+        write_artifact(path, result)
+        artifact = read_artifact(path)
+        assert artifact.spans == {}
+        assert artifact.instruments == {}
+        assert "wall_per_round" not in artifact.series
+        assert len(artifact.series["messages_per_round"]) == artifact.rounds
+
+
+class TestValidation:
+    def _records(self, observed_run):
+        result, _ = observed_run
+        return build_records(result, meta={})
+
+    def test_empty(self):
+        with pytest.raises(SchemaError, match="empty"):
+            validate_artifact([])
+
+    def test_header_must_come_first(self, observed_run):
+        records = self._records(observed_run)
+        with pytest.raises(SchemaError, match="header"):
+            validate_artifact(records[1:])
+
+    def test_wrong_schema_version(self, observed_run):
+        records = self._records(observed_run)
+        records[0] = dict(records[0], schema="rwbc.observe/999")
+        with pytest.raises(SchemaError, match="unsupported schema"):
+            validate_artifact(records)
+
+    def test_truncated_file(self, observed_run):
+        records = self._records(observed_run)
+        with pytest.raises(SchemaError, match="truncated"):
+            validate_artifact(records[:-1])
+
+    def test_bad_end_count(self, observed_run):
+        records = self._records(observed_run)
+        records[-1] = {"record": "end", "records": 1}
+        with pytest.raises(SchemaError, match="end record counts"):
+            validate_artifact(records)
+
+    def test_unknown_record_type(self, observed_run):
+        records = self._records(observed_run)
+        records.insert(1, {"record": "mystery"})
+        records[-1] = {"record": "end", "records": len(records) - 1}
+        with pytest.raises(SchemaError, match="unknown record type"):
+            validate_artifact(records)
+
+    def test_series_length_mismatch(self, observed_run):
+        records = self._records(observed_run)
+        for record in records:
+            if (
+                record["record"] == "series"
+                and record["name"] == "messages_per_round"
+            ):
+                record["values"] = record["values"][:-1]
+        with pytest.raises(SchemaError, match="messages_per_round"):
+            validate_artifact(records)
+
+    def test_invalid_json_line(self, artifact_path):
+        with open(artifact_path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            read_artifact(artifact_path)
+
+    def test_missing_record_tag(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_tag": true}\n')
+        with pytest.raises(SchemaError, match="no 'record' tag"):
+            read_artifact(path)
+
+
+class TestDiff:
+    def test_diff_of_self_is_zero(self, artifact_path):
+        artifact = read_artifact(artifact_path)
+        diff = diff_artifacts(artifact, artifact)
+        for triple in diff["summary"].values():
+            assert triple[2] == 0
+        for phase in diff["phases"].values():
+            for triple in phase.values():
+                assert triple[2] == 0
+        for span in diff["spans"].values():
+            assert span["wall_s"][2] == 0
+
+    def test_diff_detects_changes(self, observed_run, tmp_path):
+        result, _ = observed_run
+        a = validate_artifact(build_records(result))
+        graph = erdos_renyi_graph(12, 0.3, seed=7, ensure_connected=True)
+        other = estimate_rwbc_distributed(
+            graph,
+            WalkParameters(length=40, walks_per_source=8),
+            seed=9,
+            telemetry=Telemetry(),
+        )
+        b = validate_artifact(build_records(other))
+        diff = diff_artifacts(a, b)
+        assert diff["summary"]["total_messages"][2] != 0
+        assert diff["summary"]["rounds"][2] > 0
+
+
+class TestReports:
+    def test_render_report(self, artifact_path):
+        text = render_report(read_artifact(artifact_path))
+        for needle in (
+            "counting",
+            "rounds",
+            "messages",
+            "bits",
+            "wall_s",
+            "spans",
+        ):
+            assert needle in text
+        assert SCHEMA in text
+
+    def test_render_diff(self, artifact_path):
+        artifact = read_artifact(artifact_path)
+        diff = diff_artifacts(artifact, artifact)
+        text = render_diff(diff, "a.jsonl", "b.jsonl")
+        assert "a.jsonl" in text
+        assert "b.jsonl" in text
+        assert "rounds" in text

@@ -1,0 +1,121 @@
+"""Telemetry neutrality: observing a run must never change it.
+
+The observability layer (span profiler + instruments) must be a pure
+read-side tap: attaching a :class:`~repro.obs.Telemetry` may not touch
+the protocol's RNG streams, transport decisions, round counts, or
+estimates - on either execution loop, with or without fault injection.
+These tests pin byte-identity between observed and unobserved runs
+across that whole matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.congest.faults import FaultPlan
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.experiments.workloads import make_workload
+from repro.obs import Telemetry
+
+GRAPH = make_workload("er", 20, seed=2).graph
+PARAMETERS = WalkParameters(length=15, walks_per_source=4)
+SEED = 5
+
+
+def _run(telemetry=None, vectorized=None, faults=None):
+    return estimate_rwbc_distributed(
+        GRAPH,
+        PARAMETERS,
+        seed=SEED,
+        telemetry=telemetry,
+        vectorized=vectorized,
+        faults=faults,
+    )
+
+
+def _fault_plan():
+    return FaultPlan(seed=11, drop_rate=0.08, duplicate_rate=0.02)
+
+
+def _assert_same_run(a, b):
+    assert a.betweenness == b.betweenness
+    assert a.metrics.rounds == b.metrics.rounds
+    assert a.metrics.total_messages == b.metrics.total_messages
+    assert a.metrics.total_bits == b.metrics.total_bits
+    assert a.metrics.messages_per_round == b.metrics.messages_per_round
+    assert a.metrics.bits_per_round == b.metrics.bits_per_round
+    assert a.phase_rounds == b.phase_rounds
+    assert a.metrics.faults == b.metrics.faults
+    assert a.recovery == b.recovery
+
+
+@pytest.mark.parametrize(
+    "vectorized", [None, False], ids=["fast", "slow"]
+)
+@pytest.mark.parametrize("faulty", [False, True], ids=["clean", "faults"])
+class TestTelemetryNeutrality:
+    def test_observed_matches_unobserved(self, vectorized, faulty):
+        faults = _fault_plan() if faulty else None
+        bare = _run(vectorized=vectorized, faults=faults)
+        faults = _fault_plan() if faulty else None
+        observed = _run(
+            telemetry=Telemetry(), vectorized=vectorized, faults=faults
+        )
+        _assert_same_run(bare, observed)
+
+    def test_telemetry_populated(self, vectorized, faulty):
+        faults = _fault_plan() if faulty else None
+        telemetry = Telemetry()
+        result = _run(
+            telemetry=telemetry, vectorized=vectorized, faults=faults
+        )
+        assert result.telemetry is telemetry
+        assert telemetry.profiler.summary()
+        assert len(telemetry.profiler.round_wall) == result.metrics.rounds
+        assert "bits_per_edge_round" in telemetry.instruments.histograms
+        totals = telemetry.instruments.totals()
+        assert totals.get("walk_sends", 0) > 0
+        if faulty:
+            assert totals.get("retransmissions", 0) > 0
+            assert totals.get("faults_dropped", 0) > 0
+            hists = telemetry.instruments.histograms
+            assert "arq_window" in hists
+            assert "recovery_latency_rounds" in hists
+
+
+class TestCrossLoopWithTelemetry:
+    def test_loops_agree_while_observed(self):
+        fast = _run(telemetry=Telemetry(), vectorized=None)
+        slow = _run(telemetry=Telemetry(), vectorized=False)
+        assert not fast.fallback_reasons
+        _assert_same_run(fast, slow)
+
+    def test_loops_agree_observed_under_faults(self):
+        fast = _run(
+            telemetry=Telemetry(), vectorized=None, faults=_fault_plan()
+        )
+        slow = _run(
+            telemetry=Telemetry(), vectorized=False, faults=_fault_plan()
+        )
+        _assert_same_run(fast, slow)
+
+    def test_loop_instrument_histograms_agree(self):
+        # The per-edge load distributions are loop-independent facts of
+        # the run, so both loops must fold the same values in.
+        fast_t, slow_t = Telemetry(), Telemetry()
+        _run(telemetry=fast_t, vectorized=None)
+        _run(telemetry=slow_t, vectorized=False)
+        for name in ("bits_per_edge_round", "messages_per_edge_round"):
+            fast_h = fast_t.instruments.hist(name)
+            slow_h = slow_t.instruments.hist(name)
+            assert np.array_equal(fast_h.buckets, slow_h.buckets)
+            assert fast_h.total == slow_h.total
+
+    def test_walk_send_totals_agree(self):
+        fast_t, slow_t = Telemetry(), Telemetry()
+        _run(telemetry=fast_t, vectorized=None)
+        _run(telemetry=slow_t, vectorized=False)
+        assert (
+            fast_t.instruments.totals()["walk_sends"]
+            == slow_t.instruments.totals()["walk_sends"]
+        )

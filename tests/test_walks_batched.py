@@ -272,8 +272,13 @@ class TestFastPathSelection:
         with pytest.raises(ConfigError, match="record_messages"):
             _run(graph, config, vectorized=True, record_messages=True)
 
-    def test_tracer_falls_back(self):
+    def test_tracer_rides_fast_path(self):
+        # Tracers no longer force per-message dispatch: the fast path
+        # expands its aggregate rows into the same deliver events.
         graph = star_graph(6)
         config = ProtocolConfig(length=20, walks_per_source=4)
-        result = _run(graph, config, vectorized=None, tracer=Tracer())
-        assert not result.fast_path
+        tracer = Tracer()
+        result = _run(graph, config, vectorized=None, tracer=tracer)
+        assert result.fast_path
+        assert len(tracer.events) > 0
+        assert all(event.event == "deliver" for event in tracer.events)

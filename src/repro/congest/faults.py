@@ -71,16 +71,56 @@ def _mix64(values: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+def _mix64_array(values: np.ndarray) -> np.ndarray:
+    """:func:`_mix64` for 1-d uint64 arrays.  Elementwise ufuncs on
+    arrays wrap silently (only numpy *scalar* arithmetic warns on
+    overflow), so this skips the per-call ``errstate`` context manager -
+    the dominant cost of hashing millions of small batches."""
+    z = values + np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _mix64_int(value: int) -> int:
+    """Scalar splitmix64 finalizer in pure Python ints (identical to
+    :func:`_mix64` mod 2**64, without numpy scalar overhead)."""
+    z = (value + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
 def _edge_base(
     seed: int, round_number: int, sender: int, receiver: int, code: int
 ) -> int:
     """Scalar hash chain shared by every message of one (edge, kind)."""
-    h = np.uint64(seed & _MASK64)
+    h = seed & _MASK64
     for part in (round_number, sender, receiver, code):
-        h = _mix64(
-            np.uint64((int(h) ^ ((part * _GOLDEN) & _MASK64)) & _MASK64)
-        )
-    return int(h)
+        h = _mix64_int(h ^ ((part * _GOLDEN) & _MASK64))
+    return h
+
+
+def _edge_base_array(
+    seed: int,
+    round_number: int,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    codes: np.ndarray,
+) -> np.ndarray:
+    """:func:`_edge_base` for arrays of edges (one uint64 per edge).
+
+    The seed/round prefix of the chain is shared by every edge of the
+    round, so it is folded once in scalar math; the remaining three
+    links vectorize.  Bit-identical to the scalar chain.
+    """
+    prefix = _mix64_int((seed & _MASK64) ^ ((round_number * _GOLDEN) & _MASK64))
+    golden = np.uint64(_GOLDEN)
+    h = _mix64_array(
+        np.uint64(prefix) ^ (senders.astype(np.uint64) * golden)
+    )
+    h = _mix64_array(h ^ (receivers.astype(np.uint64) * golden))
+    return _mix64_array(h ^ (codes.astype(np.uint64) * golden))
 
 
 def _uniforms(base: int, salt: int, indices: np.ndarray) -> np.ndarray:
@@ -90,6 +130,18 @@ def _uniforms(base: int, salt: int, indices: np.ndarray) -> np.ndarray:
         ^ ((indices.astype(np.uint64) + np.uint64(1)) * np.uint64(_GOLDEN))
     ) + np.uint64(salt * 0x2545F4914F6CDD1D & _MASK64)
     return (_mix64(keys) >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+
+def _uniforms_array(
+    bases: np.ndarray, salt: int, indices: np.ndarray
+) -> np.ndarray:
+    """:func:`_uniforms` with a per-message ``bases`` array, so one call
+    covers every (edge, kind) group of a round at once."""
+    keys = (
+        bases
+        ^ ((indices.astype(np.uint64) + np.uint64(1)) * np.uint64(_GOLDEN))
+    ) + np.uint64(salt * 0x2545F4914F6CDD1D & _MASK64)
+    return (_mix64_array(keys) >> np.uint64(11)).astype(np.float64) * 2.0**-53
 
 
 @dataclass(frozen=True)
@@ -290,10 +342,24 @@ class FaultRuntime:
         self.plan = plan
         self.counters = FaultCounters()
         self._uniform_rates = not plan.edge_overrides
+        # All rates zero everywhere (crash-only or crash-free plans):
+        # no per-message hash is ever evaluated during the run, so the
+        # per-edge fate index counters are never read and whole rounds
+        # can skip fate processing outright.
+        self._all_rates_zero = (
+            plan.drop_rate == 0.0
+            and plan.duplicate_rate == 0.0
+            and plan.delay_rate == 0.0
+            and all(
+                rates.drop == rates.duplicate == rates.delay == 0.0
+                for rates in plan.edge_overrides.values()
+            )
+        )
         self._indices: dict[tuple[int, int, int], int] = {}
         self._delayed_messages: dict[int, list[Message]] = {}
         self._delayed_bulk: dict[int, dict[str, list[_DelayedRow]]] = {}
         self._crash_cache: dict[int, frozenset[int]] = {}
+        self._down_array_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Crash windows
@@ -311,6 +377,16 @@ class FaultRuntime:
     def note_crash_rounds(self, count: int) -> None:
         """Scheduler hook: ``count`` node-rounds were lost to crashes."""
         self.counters.crash_node_rounds += count
+
+    def _down_array(self, round_number: int) -> np.ndarray:
+        """The round's crashed set as a sorted int64 array (cached)."""
+        cached = self._down_array_cache.get(round_number)
+        if cached is None:
+            cached = np.fromiter(
+                sorted(self.crashed(round_number)), dtype=np.int64
+            )
+            self._down_array_cache[round_number] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Per-round application
@@ -365,6 +441,52 @@ class FaultRuntime:
             ) & survivors
         return dropped, duplicated, delay_rounds
 
+    def _batched_fates(
+        self,
+        bases: np.ndarray,
+        indices: np.ndarray,
+        drop,
+        dup,
+        delay,
+        have_drop: bool,
+        have_dup: bool,
+        have_delay: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One round's fates for many (edge, kind) groups at once.
+
+        ``bases`` carries each message's edge-hash base and ``indices``
+        its canonical index; the rates are scalars (uniform plans) or
+        per-message arrays (edge overrides).  Message for message this
+        evaluates exactly the draws a per-group :meth:`_fates` call
+        would - a zero rate compares every uniform against 0.0, which is
+        the same ``False`` the per-group path gets without drawing.
+        """
+        count = len(indices)
+        if have_drop:
+            dropped = _uniforms_array(bases, _SALT_DROP, indices) < drop
+        else:
+            dropped = np.zeros(count, dtype=bool)
+        survivors = ~dropped
+        delay_rounds = np.zeros(count, dtype=np.int64)
+        if have_delay:
+            slipped = (
+                _uniforms_array(bases, _SALT_DELAY, indices) < delay
+            ) & survivors
+            if slipped.any():
+                amounts = (
+                    _uniforms_array(bases, _SALT_AMOUNT, indices)
+                    * self.plan.max_delay
+                ).astype(np.int64) + 1
+                delay_rounds[slipped] = amounts[slipped]
+                survivors &= ~slipped
+        if have_dup:
+            duplicated = (
+                _uniforms_array(bases, _SALT_DUP, indices) < dup
+            ) & survivors
+        else:
+            duplicated = np.zeros(count, dtype=bool)
+        return dropped, duplicated, delay_rounds
+
     def filter_messages(
         self, round_number: int, messages: list[Message]
     ) -> list[Message]:
@@ -377,48 +499,97 @@ class FaultRuntime:
         if not messages:
             return []
         down = self.crashed(round_number)
-        live: list[Message] = []
-        for message in messages:
-            if message.receiver in down:
-                self.counters.crash_dropped += 1
-            else:
-                live.append(message)
+        if down:
+            live: list[Message] = []
+            for message in messages:
+                if message.receiver in down:
+                    self.counters.crash_dropped += 1
+                else:
+                    live.append(message)
+        else:
+            live = messages
         if not live:
             return []
-        # Group by (edge, kind) in list order; decisions are batched
-        # per group but applied back in the original message order.
-        groups: dict[tuple[int, int, str], list[int]] = {}
+        if self._all_rates_zero:
+            # Crash-only plan: nothing left to decide, and no counter
+            # to advance (no hash is ever evaluated under zero rates).
+            return list(live)
+        # One pass assigns every message its canonical index within its
+        # (edge, kind) group - composing with the per-edge counters -
+        # then a single batched hash decides the whole round.
+        count = len(live)
+        senders = np.empty(count, dtype=np.int64)
+        receivers = np.empty(count, dtype=np.int64)
+        codes = np.empty(count, dtype=np.uint64)
+        indices = np.empty(count, dtype=np.int64)
+        next_index: dict[tuple[int, int, int], int] = {}
+        edge_counters = self._indices
         for position, message in enumerate(live):
-            groups.setdefault(
-                (message.sender, message.receiver, message.kind), []
-            ).append(position)
-        fate_of: dict[int, tuple[bool, bool, int]] = {}
-        for (sender, receiver, kind), positions in groups.items():
-            dropped, duplicated, delay_rounds = self._fates(
-                sender, receiver, kind, len(positions)
+            sender = message.sender
+            receiver = message.receiver
+            code = kind_code(message.kind)
+            senders[position] = sender
+            receivers[position] = receiver
+            codes[position] = code
+            key = (sender, receiver, code)
+            index = next_index.get(key)
+            if index is None:
+                index = edge_counters.get(key, 0)
+            indices[position] = index
+            next_index[key] = index + 1
+        edge_counters.update(next_index)
+        if self._uniform_rates:
+            drop = self.plan.drop_rate
+            dup = self.plan.duplicate_rate
+            delay = self.plan.delay_rate
+            have_drop, have_dup, have_delay = (
+                drop > 0.0, dup > 0.0, delay > 0.0
             )
-            for i, position in enumerate(positions):
-                fate_of[position] = (
-                    bool(dropped[i]),
-                    bool(duplicated[i]),
-                    int(delay_rounds[i]),
-                )
+        else:
+            drop = np.empty(count, dtype=np.float64)
+            dup = np.empty(count, dtype=np.float64)
+            delay = np.empty(count, dtype=np.float64)
+            rate_cache: dict[tuple[int, int], tuple] = {}
+            for position, message in enumerate(live):
+                edge = (message.sender, message.receiver)
+                rates = rate_cache.get(edge)
+                if rates is None:
+                    rates = self.plan.rates_for(*edge)
+                    rate_cache[edge] = rates
+                drop[position], dup[position], delay[position] = rates
+            have_drop = bool(drop.any())
+            have_dup = bool(dup.any())
+            have_delay = bool(delay.any())
+        bases = _edge_base_array(
+            self.plan.seed, self._round, senders, receivers, codes
+        )
+        dropped, duplicated, delay_rounds = self._batched_fates(
+            bases, indices, drop, dup, delay,
+            have_drop, have_dup, have_delay,
+        )
+        dropped_list = dropped.tolist()
+        duplicated_list = duplicated.tolist()
+        slips = delay_rounds.tolist()
         delivered: list[Message] = []
+        append = delivered.append
+        delayed = self._delayed_messages
+        n_dropped = n_duplicated = n_delayed = 0
         for position, message in enumerate(live):
-            was_dropped, was_duplicated, slip = fate_of[position]
-            if was_dropped:
-                self.counters.dropped += 1
+            if dropped_list[position]:
+                n_dropped += 1
                 continue
+            slip = slips[position]
             if slip:
-                self.counters.delayed += 1
-                self._delayed_messages.setdefault(
-                    round_number + slip, []
-                ).append(message)
+                n_delayed += 1
+                delayed.setdefault(round_number + slip, []).append(message)
                 continue
-            delivered.append(message)
-            if was_duplicated:
-                self.counters.duplicated += 1
-                delivered.append(message)
+            append(message)
+            if duplicated_list[position]:
+                n_duplicated += 1
+                append(message)
+        self.counters.dropped += n_dropped
+        self.counters.duplicated += n_duplicated
+        self.counters.delayed += n_delayed
         return delivered
 
     def filter_bulk(
@@ -441,54 +612,162 @@ class FaultRuntime:
         down = self.crashed(round_number)
         new_mult = multiplicity.astype(np.int64, copy=True)
         if down:
-            lost = np.isin(receivers, np.fromiter(down, dtype=np.int64))
+            lost = np.isin(receivers, self._down_array(round_number))
             if lost.any():
                 self.counters.crash_dropped += int(new_mult[lost].sum())
                 new_mult[lost] = 0
-        # Walk the rows edge by edge in row order (the canonical order);
-        # per edge, one vectorized fate call covers all its messages.
-        edge_rows: dict[tuple[int, int], list[int]] = {}
-        for row in range(len(senders)):
-            if new_mult[row] == 0:
-                continue
-            edge_rows.setdefault(
-                (int(senders[row]), int(receivers[row])), []
-            ).append(row)
-        for (sender, receiver), rows in edge_rows.items():
-            drop, dup, delay = self.plan.rates_for(sender, receiver)
-            counts = new_mult[rows]
-            total = int(counts.sum())
-            if drop == dup == delay == 0.0:
-                # Still advance the index counter: later traffic of the
-                # same edge must line up with the per-message loop.
-                self._fates(sender, receiver, kind, total)
-                continue
-            dropped, duplicated, delay_rounds = self._fates(
-                sender, receiver, kind, total
+        if self._all_rates_zero:
+            # Quiescent round of a crash-only plan: with zero rates
+            # everywhere no per-message hash is ever evaluated, so the
+            # per-edge fate index counters are never read and advancing
+            # them is a no-op (they reset each round anyway); the crash
+            # zeroing above is the plan's entire effect on bulk rows.
+            return new_mult
+        active = new_mult > 0
+        if not active.any():
+            return new_mult
+        # Group the active rows by directed edge, edges ordered by first
+        # appearance in row order and rows kept in row order within each
+        # edge - the exact iteration order of the per-row dict walk this
+        # replaces, which the delayed-row re-queue order depends on.
+        rows = np.nonzero(active)[0]
+        row_senders = senders[rows].astype(np.int64, copy=False)
+        row_receivers = receivers[rows].astype(np.int64, copy=False)
+        edge_keys = (row_senders << np.int64(32)) | row_receivers
+        unique_keys, first_pos, inverse = np.unique(
+            edge_keys, return_index=True, return_inverse=True
+        )
+        n_edges = len(unique_keys)
+        appearance = np.argsort(first_pos, kind="stable")
+        rank = np.empty(n_edges, dtype=np.int64)
+        rank[appearance] = np.arange(n_edges, dtype=np.int64)
+        row_rank = rank[inverse]
+        order = np.argsort(row_rank, kind="stable")
+        grouped_rows = rows[order]
+        grouped_counts = new_mult[grouped_rows]
+        edge_senders = row_senders[first_pos[appearance]]
+        edge_receivers = row_receivers[first_pos[appearance]]
+        edge_sizes = np.bincount(row_rank, minlength=n_edges)
+        edge_row_starts = np.empty(n_edges, dtype=np.int64)
+        edge_row_starts[0] = 0
+        np.cumsum(edge_sizes[:-1], out=edge_row_starts[1:])
+        edge_totals = np.add.reduceat(grouped_counts, edge_row_starts)
+        code = kind_code(kind)
+        # Advance each edge's fate counter (composing with this round's
+        # control traffic of the same kind, which was filtered first).
+        starts = np.empty(n_edges, dtype=np.int64)
+        edge_counters = self._indices
+        senders_list = edge_senders.tolist()
+        receivers_list = edge_receivers.tolist()
+        for j, total in enumerate(edge_totals.tolist()):
+            key = (senders_list[j], receivers_list[j], code)
+            start = edge_counters.get(key, 0)
+            starts[j] = start
+            edge_counters[key] = start + total
+        if self._uniform_rates:
+            drop = self.plan.drop_rate
+            dup = self.plan.duplicate_rate
+            delay = self.plan.delay_rate
+            have_drop, have_dup, have_delay = (
+                drop > 0.0, dup > 0.0, delay > 0.0
             )
-            bounds = np.zeros(len(rows) + 1, dtype=np.int64)
-            np.cumsum(counts, out=bounds[1:])
-            for i, row in enumerate(rows):
-                lo, hi = int(bounds[i]), int(bounds[i + 1])
-                n_dropped = int(dropped[lo:hi].sum())
-                n_duplicated = int(duplicated[lo:hi].sum())
-                slips = delay_rounds[lo:hi]
-                slipped = slips > 0
-                n_slipped = int(slipped.sum())
-                if n_slipped:
-                    row_fields = tuple(int(x) for x in fields[row])
-                    for slip in np.unique(slips[slipped]):
-                        count = int((slips == slip).sum())
-                        self._delayed_bulk.setdefault(
-                            round_number + int(slip), {}
-                        ).setdefault(kind, []).append(
-                            (sender, receiver, row_fields, count)
-                        )
-                    self.counters.delayed += n_slipped
-                self.counters.dropped += n_dropped
-                self.counters.duplicated += n_duplicated
-                new_mult[row] = (
-                    int(counts[i]) - n_dropped - n_slipped + n_duplicated
+            drop_pm = drop
+            dup_pm = dup
+            delay_pm = delay
+        else:
+            edge_drop = np.empty(n_edges, dtype=np.float64)
+            edge_dup = np.empty(n_edges, dtype=np.float64)
+            edge_delay = np.empty(n_edges, dtype=np.float64)
+            for j in range(n_edges):
+                edge_drop[j], edge_dup[j], edge_delay[j] = (
+                    self.plan.rates_for(senders_list[j], receivers_list[j])
+                )
+            have_drop = bool(edge_drop.any())
+            have_dup = bool(edge_dup.any())
+            have_delay = bool(edge_delay.any())
+        if not (have_drop or have_dup or have_delay):
+            return new_mult
+        # Expand to one entry per message: each row i contributes
+        # ``grouped_counts[i]`` consecutive indices of its edge.
+        message_row = np.repeat(
+            np.arange(len(grouped_rows), dtype=np.int64), grouped_counts
+        )
+        row_bounds = np.empty(len(grouped_rows) + 1, dtype=np.int64)
+        row_bounds[0] = 0
+        np.cumsum(grouped_counts, out=row_bounds[1:])
+        total_messages = int(row_bounds[-1])
+        message_edge = np.repeat(
+            np.arange(n_edges, dtype=np.int64), edge_totals
+        )
+        edge_offsets = np.empty(n_edges, dtype=np.int64)
+        edge_offsets[0] = 0
+        np.cumsum(edge_totals[:-1], out=edge_offsets[1:])
+        message_index = (
+            np.arange(total_messages, dtype=np.int64)
+            - edge_offsets[message_edge]
+            + starts[message_edge]
+        )
+        edge_bases = _edge_base_array(
+            self.plan.seed, self._round, edge_senders, edge_receivers,
+            np.full(n_edges, code, dtype=np.uint64),
+        )
+        bases = edge_bases[message_edge]
+        if not self._uniform_rates:
+            drop_pm = edge_drop[message_edge]
+            dup_pm = edge_dup[message_edge]
+            delay_pm = edge_delay[message_edge]
+        dropped, duplicated, delay_rounds = self._batched_fates(
+            bases, message_index, drop_pm, dup_pm, delay_pm,
+            have_drop, have_dup, have_delay,
+        )
+        slipped = delay_rounds > 0
+        starts_of_rows = row_bounds[:-1]
+        dropped_per_row = np.add.reduceat(
+            dropped.astype(np.int64), starts_of_rows
+        )
+        duplicated_per_row = np.add.reduceat(
+            duplicated.astype(np.int64), starts_of_rows
+        )
+        slipped_per_row = np.add.reduceat(
+            slipped.astype(np.int64), starts_of_rows
+        )
+        new_mult[grouped_rows] = (
+            grouped_counts
+            - dropped_per_row
+            - slipped_per_row
+            + duplicated_per_row
+        )
+        self.counters.dropped += int(dropped_per_row.sum())
+        self.counters.duplicated += int(duplicated_per_row.sum())
+        n_slipped = int(slipped_per_row.sum())
+        if n_slipped:
+            self.counters.delayed += n_slipped
+            # Re-queue delayed copies grouped as (row, slip) pairs; the
+            # ascending composite key reproduces the per-row walk's
+            # append order (edges by first appearance, rows in row
+            # order, slips ascending within a row).
+            span = self.plan.max_delay + 1
+            slip_keys = (
+                message_row[slipped] * span + delay_rounds[slipped]
+            )
+            pair_keys, pair_counts = np.unique(
+                slip_keys, return_counts=True
+            )
+            delayed = self._delayed_bulk
+            for pair, count in zip(
+                pair_keys.tolist(), pair_counts.tolist()
+            ):
+                row = int(grouped_rows[pair // span])
+                slip = pair % span
+                delayed.setdefault(round_number + slip, {}).setdefault(
+                    kind, []
+                ).append(
+                    (
+                        int(senders[row]),
+                        int(receivers[row]),
+                        tuple(int(x) for x in fields[row]),
+                        count,
+                    )
                 )
         return new_mult
 

@@ -67,19 +67,25 @@ class Message:
     receiver: int
     kind: str
     fields: tuple[int, ...] = field(default_factory=tuple)
+    _bits: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
+        # Bit size is charged on push and again by the traffic metrics,
+        # so it is computed once here rather than per read.
+        total = TAG_BITS
         for value in self.fields:
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ProtocolError(
                     f"message field {value!r} is not an int; the transport "
                     "only carries integers (see module docstring)"
                 )
+            total += max(1, abs(value).bit_length()) + 1
+        object.__setattr__(self, "_bits", total)
 
     @property
     def bits(self) -> int:
         """Total size charged against the edge's bandwidth."""
-        return TAG_BITS + payload_bits(self.fields)
+        return self._bits
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

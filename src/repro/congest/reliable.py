@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
 
@@ -51,7 +53,7 @@ RETRANSMIT_AFTER = 4
 class OutLink:
     """Sender half of one directed edge's reliable channel."""
 
-    __slots__ = ("next_seq", "unacked")
+    __slots__ = ("next_seq", "unacked", "_floor")
 
     def __init__(self) -> None:
         self.next_seq = 0
@@ -60,6 +62,10 @@ class OutLink:
         #         recovery-latency histogram; protocol decisions read
         #         last_sent alone)
         self.unacked: dict[int, list] = {}
+        # Conservative lower bound on the unacked entries' last_sent
+        # rounds; lets ``due`` skip the scan while everything in flight
+        # is too fresh to retransmit (the common case every round).
+        self._floor = 0
 
     def assign(
         self, kind: str, fields: tuple[int, ...], round_number: int
@@ -67,8 +73,28 @@ class OutLink:
         """Allocate the next seq for a message being sent this round."""
         seq = self.next_seq
         self.next_seq += 1
+        if not self.unacked:
+            self._floor = round_number
         self.unacked[seq] = [kind, fields, round_number, round_number]
         return seq
+
+    def assign_block(
+        self, kind: str, fields_rows: list[tuple[int, ...]],
+        round_number: int,
+    ) -> int:
+        """Allocate consecutive seqs for a block of messages all sent
+        this round on this edge (head-of-queue order); returns the
+        first seq.  Equivalent to ``assign`` once per row."""
+        seq = self.next_seq
+        unacked = self.unacked
+        if not unacked:
+            self._floor = round_number
+        for fields in fields_rows:
+            unacked[seq] = [kind, fields, round_number, round_number]
+            seq += 1
+        start = self.next_seq
+        self.next_seq = seq
+        return start
 
     def touch(self, seq: int, round_number: int) -> None:
         """Record a retransmission of ``seq`` this round."""
@@ -102,43 +128,70 @@ class OutLink:
 
     def due(self, round_number: int) -> list[int]:
         """Seqs whose last transmission has gone unacked too long."""
+        if not self.unacked:
+            return []
         horizon = round_number - RETRANSMIT_AFTER
-        return sorted(
-            seq
-            for seq, (_, _, last_sent, _) in self.unacked.items()
-            if last_sent <= horizon
-        )
+        if self._floor > horizon:
+            return []
+        due: list[int] = []
+        floor = None
+        for seq, entry in self.unacked.items():
+            last_sent = entry[2]
+            if last_sent <= horizon:
+                due.append(seq)
+            if floor is None or last_sent < floor:
+                floor = last_sent
+        self._floor = floor
+        due.sort()
+        return due
 
 
 class InLink:
-    """Receiver half of one directed edge's reliable channel."""
+    """Receiver half of one directed edge's reliable channel.
 
-    __slots__ = ("cum", "seen", "ack_due")
+    Delivered-but-unordered seqs live in ``mask``, an unbounded int
+    bitmask relative to ``cum`` (bit ``i`` = seq ``cum + 1 + i``
+    delivered).  The mask form makes acceptance O(1) bit ops and lets
+    the fast path mirror many links into flat arrays
+    (:class:`InLinkFlatState`) for array-level acceptance.
+    """
+
+    __slots__ = ("cum", "mask", "ack_due")
 
     def __init__(self) -> None:
         self.cum = -1  # highest seq with all predecessors delivered
-        self.seen: set[int] = set()  # delivered seqs above cum
+        self.mask = 0  # delivered seqs above cum, relative to cum + 1
         self.ack_due = False
 
     def accept(self, seq: int) -> bool:
         """Register a delivery; True iff this seq is new (not a dup)."""
         self.ack_due = True
-        if seq <= self.cum or seq in self.seen:
+        offset = seq - self.cum - 1
+        if offset < 0 or (self.mask >> offset) & 1:
             return False
-        self.seen.add(seq)
-        while self.cum + 1 in self.seen:
-            self.cum += 1
-            self.seen.discard(self.cum)
+        mask = self.mask | (1 << offset)
+        # Slide the window past the contiguous prefix: the lowest zero
+        # bit of the mask is one past its run of trailing ones.
+        advance = ((mask + 1) & ~mask).bit_length() - 1
+        if advance:
+            self.cum += advance
+            mask >>= advance
+        self.mask = mask
         return True
+
+    @property
+    def seen(self) -> set[int]:
+        """Delivered seqs above ``cum`` (set view of the mask)."""
+        mask = self.mask
+        return {
+            self.cum + 1 + offset
+            for offset in range(mask.bit_length())
+            if (mask >> offset) & 1
+        }
 
     def ack_fields(self) -> tuple[int, int]:
         """Current ``(cum, bitmap)`` selective-ack payload."""
-        bitmap = 0
-        for seq in self.seen:
-            offset = seq - self.cum - 1
-            if 0 <= offset < ACK_WINDOW:
-                bitmap |= 1 << offset
-        return self.cum, bitmap
+        return self.cum, self.mask & ((1 << ACK_WINDOW) - 1)
 
 
 class ChannelStats:
@@ -190,6 +243,11 @@ class ReliableChannel:
         self._queues: dict[int, list[list]] = {
             v: [] for v in self.neighbors
         }
+        # Neighbors that might need flush work (something unacked,
+        # queued, or an ack owed).  Every path that creates such work
+        # adds the neighbor here; ``flush`` drops a neighbor once its
+        # edge is fully settled, so quiet edges cost nothing per round.
+        self._active: set[int] = set()
         self.stats = ChannelStats()
         # Optional repro.obs.InstrumentSet: ARQ window occupancy,
         # per-round retransmit/ack counters, and recovery latencies.
@@ -209,11 +267,32 @@ class ReliableChannel:
         """Sequence a message the caller ships itself *this round*
         (fresh walk tokens, which the walk layer emits directly) and
         remember it for retransmission.  Returns the seq to append."""
+        self._active.add(neighbor)
         return self.out[neighbor].assign(kind, fields, round_number)
+
+    def register_block(
+        self,
+        neighbor: int,
+        kind: str,
+        fields_rows: list[tuple[int, ...]],
+        round_number: int,
+    ) -> int:
+        """Block form of :meth:`register_sent`: sequence a head-of-queue
+        run of messages on one edge; returns the first seq."""
+        self._active.add(neighbor)
+        return self.out[neighbor].assign_block(
+            kind, fields_rows, round_number
+        )
+
+    def mark_active(self, neighbor: int) -> None:
+        """Note that the edge to ``neighbor`` has flush work (used by
+        the fast path, which mutates the links directly)."""
+        self._active.add(neighbor)
 
     def queue(self, neighbor: int, kind: str, fields: tuple[int, ...]) -> None:
         """Queue a reliable control message; ``flush`` sends it when a
         slot frees up."""
+        self._active.add(neighbor)
         self._queues[neighbor].append([kind, fields])
 
     def queue_latest(
@@ -225,6 +304,7 @@ class ReliableChannel:
         reports).  Copies already in flight keep retransmitting; the
         receiver's handler is monotone, so a stale arrival is a no-op.
         """
+        self._active.add(neighbor)
         for entry in self._queues[neighbor]:
             if entry[0] == kind:
                 entry[1] = fields
@@ -260,6 +340,7 @@ class ReliableChannel:
                 self.out[sender].apply_ack(cum, bitmap)
             return None
         seq = message.fields[-1]
+        self._active.add(sender)  # the accept owes an ack either way
         if self.inn[sender].accept(seq):
             return message.fields[:-1]
         self.stats.duplicates_rejected += 1
@@ -285,7 +366,16 @@ class ReliableChannel:
         token_retransmits: dict[int, int] = {}
         retransmits_this_round = 0
         acks_this_round = 0
-        for neighbor in self.neighbors:
+        active = self._active
+        # Only edges with live work are visited; iteration stays in
+        # neighbor order, so the push order matches the full scan's.
+        if not active:
+            order: tuple[int, ...] | list[int] = ()
+        elif len(active) == len(self.neighbors):
+            order = self.neighbors
+        else:
+            order = sorted(active)
+        for neighbor in order:
             link = self.out[neighbor]
             due = link.due(round_number)
             tokens_sent = 0
@@ -331,6 +421,8 @@ class ReliableChannel:
                 acks_this_round += 1
             if tokens_sent:
                 token_retransmits[neighbor] = tokens_sent
+            if not link.unacked and not queue and not inlink.ack_due:
+                active.discard(neighbor)
         if self._instruments is not None:
             if retransmits_this_round:
                 self._instruments.bump_round(
@@ -360,3 +452,51 @@ class ReliableChannel:
         if self.queued_count or self.unacked_count:
             return False
         return not any(link.ack_due for link in self.inn.values())
+
+
+class InLinkFlatState:
+    """Flat numpy mirror of many :class:`InLink` cursors, by edge id.
+
+    The fast path's network-wide engine owns one of these, sized to the
+    network's directed-edge table.  Each round it *pulls* the cursors of
+    the edges appearing in the claimed walk traffic, decides acceptance
+    for every row with array compares against ``cum``/``mask``, and
+    *pushes* the advanced cursors back into the InLink objects - which
+    stay the single source of truth, because the control path keeps
+    accepting retransmitted tokens through
+    :meth:`ReliableChannel.receive` on the very same links.
+
+    Masks wider than 63 bits (a hole older than 63 seqs, e.g. behind a
+    long crash window) do not fit the uint64 mirror; such edges are
+    flagged ``wide`` and the caller routes their rows through the plain
+    per-row :meth:`InLink.accept` fallback.
+    """
+
+    __slots__ = ("cum", "mask", "wide")
+
+    def __init__(self, size: int) -> None:
+        self.cum = np.full(size, -1, dtype=np.int64)
+        self.mask = np.zeros(size, dtype=np.uint64)
+        self.wide = np.zeros(size, dtype=bool)
+
+    def pull(self, edge_ids: list[int], links: list[InLink]) -> None:
+        """Refresh the mirror from the InLink objects for these edges."""
+        cum, mask, wide = self.cum, self.mask, self.wide
+        for edge_id, link in zip(edge_ids, links):
+            cum[edge_id] = link.cum
+            link_mask = link.mask
+            if link_mask >> 63:
+                wide[edge_id] = True
+                mask[edge_id] = 0
+            else:
+                wide[edge_id] = False
+                mask[edge_id] = link_mask
+
+    def push(self, edge_ids: list[int], links: list[InLink]) -> None:
+        """Write advanced cursors back into the InLink objects (also
+        marking their acks due, as every accept does)."""
+        cum, mask = self.cum, self.mask
+        for edge_id, link in zip(edge_ids, links):
+            link.cum = int(cum[edge_id])
+            link.mask = int(mask[edge_id])
+            link.ack_due = True

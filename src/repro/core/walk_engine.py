@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.congest.errors import ProtocolError
 from repro.congest.message import Message
+from repro.congest.reliable import InLinkFlatState
 from repro.obs.spans import NULL_PROFILER
 from repro.core.termination import KIND_TERM, DeathCounterLogic
 from repro.core.walk_manager import (
@@ -50,6 +51,7 @@ from repro.core.walk_manager import (
     KIND_WALK_BATCH,
     TransportPolicy,
     WalkManager,
+    sequence_block,
 )
 from repro.walks.batched import aggregate_network_groups
 
@@ -97,6 +99,11 @@ class CountingWalkEngine:
         # set.  All stay empty/None on fault-free runs.
         self._channels: dict[int, object] = {}
         self._reliable = False
+        # Reliable fast path: directed-edge lookup ((s << 32) | t ->
+        # edge id) and the flat numpy mirror of the InLink cursors used
+        # for array-level dedup.  Built at finalize in reliable mode.
+        self._edge_index: dict[int, int] | None = None
+        self._in_state: InLinkFlatState | None = None
         self._control_arrivals: list[tuple[int, int, int, int, int]] = []
         self._transitioned: set[int] = set()
         self._fault_runtime = None
@@ -275,6 +282,14 @@ class CountingWalkEngine:
             np.arange(self.n, dtype=np.int64), self._degrees
         )
         self._max_degree = int(self._degrees.max())
+        if self._reliable:
+            self._edge_index = {
+                (int(s) << 32) | int(t): edge
+                for edge, (s, t) in enumerate(
+                    zip(self._edge_src, self._targets)
+                )
+            }
+            self._in_state = InLinkFlatState(len(self._targets))
         self._finalized = True
 
     def _dedup_claimed(
@@ -292,31 +307,152 @@ class CountingWalkEngine:
         slow path's arrival order and this row order agree byte for
         byte."""
         out: dict[str, ClaimedKind] = {}
+        flat = self._in_state
+        channels = self._channels
         for kind, (senders, receivers, fields, multiplicity) in (
             claimed.items()
         ):
-            keep = np.zeros(len(receivers), dtype=bool)
-            for i in range(len(receivers)):
-                receiver = int(receivers[i])
-                program = self._programs[receiver]
-                phase = program.phase
-                if phase == "setup":
-                    # Not launched (crashed through the launch round):
-                    # no accept, no ack; the sender retries later.
-                    continue
-                channel = self._channels[receiver]
-                copies = int(multiplicity[i])
-                if channel.inn[int(senders[i])].accept(int(fields[i, -1])):
-                    if phase != "counting":
-                        raise ProtocolError(
-                            "fresh walk token arrived during "
-                            f"{phase} at node {receiver}: recovery "
-                            "lost a death"
-                        )
-                    keep[i] = True
-                    channel.stats.duplicates_rejected += copies - 1
-                else:
-                    channel.stats.duplicates_rejected += copies
+            rows = len(receivers)
+            keep = np.zeros(rows, dtype=bool)
+            seqs = fields[:, -1]
+            recv_list = receivers.tolist()
+            send_list = senders.tolist()
+            phase_of = {
+                node: self._programs[node].phase for node in set(recv_list)
+            }
+            # Receivers still in setup (crashed through the launch
+            # round): no accept, no ack; the sender retries later.
+            eligible = np.fromiter(
+                (phase_of[node] != "setup" for node in recv_list),
+                dtype=bool, count=rows,
+            )
+            if not eligible.any():
+                continue
+            positions = np.nonzero(eligible)[0]
+            e_senders = senders[positions]
+            e_receivers = receivers[positions]
+            e_seqs = seqs[positions]
+            edge_keys = (e_senders << np.int64(32)) | e_receivers
+            # A repeat of an (edge, seq) already seen earlier in this
+            # batch is a duplicate; the stable sort keeps the earliest
+            # row first in each run.
+            sort_order = np.lexsort(
+                (np.arange(len(positions)), e_seqs, edge_keys)
+            )
+            sorted_keys = edge_keys[sort_order]
+            sorted_seqs = e_seqs[sort_order]
+            repeat = np.zeros(len(positions), dtype=bool)
+            repeat[1:] = (sorted_keys[1:] == sorted_keys[:-1]) & (
+                sorted_seqs[1:] == sorted_seqs[:-1]
+            )
+            intra_dup = np.zeros(len(positions), dtype=bool)
+            intra_dup[sort_order] = repeat
+            unique_keys, first_pos, inverse = np.unique(
+                edge_keys, return_index=True, return_inverse=True
+            )
+            links = [
+                channels[node].inn[sender]
+                for sender, node in zip(
+                    e_senders[first_pos].tolist(),
+                    e_receivers[first_pos].tolist(),
+                )
+            ]
+            edge_index = self._edge_index
+            edge_ids = [edge_index[key] for key in unique_keys.tolist()]
+            # Every touched edge ends the round owing an ack; tell the
+            # receiver's channel so its flush visits the edge.
+            for sender, node in zip(
+                e_senders[first_pos].tolist(),
+                e_receivers[first_pos].tolist(),
+            ):
+                channels[node].mark_active(sender)
+            flat.pull(edge_ids, links)
+            edge_id_arr = np.fromiter(
+                edge_ids, dtype=np.int64, count=len(edge_ids)
+            )
+            row_edge = edge_id_arr[inverse]
+            offsets = e_seqs - flat.cum[row_edge] - 1
+            # Rows the uint64 mirror cannot decide (link mask wider
+            # than 63 bits, or a seq more than 62 ahead of the cursor)
+            # fall back to per-row accepts after the array pass.
+            narrow = ~flat.wide[row_edge] & (offsets <= 62)
+            in_window = narrow & (offsets >= 0)
+            already = np.zeros(len(positions), dtype=bool)
+            already[in_window] = (
+                (
+                    flat.mask[row_edge[in_window]]
+                    >> offsets[in_window].astype(np.uint64)
+                )
+                & np.uint64(1)
+            ).astype(bool)
+            fresh = in_window & ~already & ~intra_dup
+            if fresh.any():
+                accepted_edge = inverse[fresh]
+                bits = (
+                    np.uint64(1) << offsets[fresh].astype(np.uint64)
+                )
+                acc_order = np.argsort(accepted_edge, kind="stable")
+                acc_edges = accepted_edge[acc_order]
+                acc_bits = bits[acc_order]
+                seg_starts, _ = _segments(acc_edges)
+                merged = np.bitwise_or.reduceat(acc_bits, seg_starts)
+                touched = edge_id_arr[acc_edges[seg_starts]]
+                mask = flat.mask[touched] | merged
+                # The run of trailing ones is the contiguous prefix the
+                # cursor slides past; its length is the exponent of the
+                # lowest zero bit.
+                lowest_zero = (mask + np.uint64(1)) & ~mask
+                _, exponents = np.frexp(lowest_zero.astype(np.float64))
+                advance = (exponents - 1).astype(np.int64)
+                flat.cum[touched] += advance
+                flat.mask[touched] = mask >> advance.astype(np.uint64)
+                keep[positions[fresh]] = True
+            # Write the advanced cursors back (and owe the acks every
+            # accept - fresh or duplicate - owes).  Wide edges were
+            # never mirrored; their rows settle through the fallback.
+            pushable = [
+                j for j in range(len(edge_ids))
+                if not flat.wide[edge_ids[j]]
+            ]
+            if len(pushable) == len(edge_ids):
+                flat.push(edge_ids, links)
+            else:
+                flat.push(
+                    [edge_ids[j] for j in pushable],
+                    [links[j] for j in pushable],
+                )
+            overflow = eligible.copy()
+            overflow[positions] = ~narrow
+            for row in np.nonzero(overflow)[0].tolist():
+                node = recv_list[row]
+                link = channels[node].inn[send_list[row]]
+                if link.accept(int(seqs[row])):
+                    keep[row] = True
+            if keep.any():
+                bad = keep & np.fromiter(
+                    (phase_of[node] != "counting" for node in recv_list),
+                    dtype=bool, count=rows,
+                )
+                if bad.any():
+                    row = int(np.nonzero(bad)[0][0])
+                    node = recv_list[row]
+                    raise ProtocolError(
+                        "fresh walk token arrived during "
+                        f"{phase_of[node]} at node {node}: recovery "
+                        "lost a death"
+                    )
+            # Every eligible row charges the receiver's dup counter its
+            # full multiplicity, minus one when the row survived.
+            rejected_copies = np.where(
+                eligible, multiplicity - keep.astype(np.int64), 0
+            )
+            per_receiver = np.bincount(
+                receivers, weights=rejected_copies, minlength=self.n
+            ).astype(np.int64)
+            for node in np.nonzero(per_receiver)[0].tolist():
+                channels[node].stats.duplicates_rejected += int(
+                    per_receiver[node]
+                )
             if keep.any():
                 out[kind] = (
                     senders[keep],
@@ -688,25 +824,28 @@ class CountingWalkEngine:
         if not len(sent):
             return
         targets = self._targets[sent[:, 0]]
+        channels = self._channels
         if self._policy is TransportPolicy.QUEUE:
             row_senders = np.repeat(senders, taken)
             row_targets = np.repeat(targets, taken)
+            row_edges = np.repeat(sent[:, 0], taken)
             fields = np.empty((len(row_senders), 4), dtype=np.int64)
             fields[:, 0] = np.repeat(sent[:, 2], taken)
             fields[:, 1] = np.repeat(sent[:, 3] - 1, taken)
             fields[:, 2] = np.repeat(sent[:, 4], taken)
-            for i in range(len(row_senders)):
-                fields[i, 3] = self._channels[
-                    int(row_senders[i])
-                ].register_sent(
-                    int(row_targets[i]),
+            rows_t = list(map(tuple, fields[:, :3].tolist()))
+            starts, ends = _segments(row_edges)
+            seq_col = fields[:, 3]
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                start_seq = sequence_block(
+                    channels[int(row_senders[lo])],
+                    int(row_targets[lo]),
                     KIND_WALK,
-                    (
-                        int(fields[i, 0]),
-                        int(fields[i, 1]),
-                        int(fields[i, 2]),
-                    ),
+                    rows_t[lo:hi],
                     round_number,
+                )
+                seq_col[lo:hi] = np.arange(
+                    start_seq, start_seq + (hi - lo)
                 )
             bulk_outbox.push_rows(KIND_WALK, row_senders, row_targets, fields)
         else:
@@ -715,17 +854,19 @@ class CountingWalkEngine:
             fields[:, 1] = sent[:, 3] - 1
             fields[:, 2] = sent[:, 4]
             fields[:, 3] = taken
-            for i in range(len(sent)):
-                fields[i, 4] = self._channels[int(senders[i])].register_sent(
-                    int(targets[i]),
+            rows_t = list(map(tuple, fields[:, :4].tolist()))
+            starts, ends = _segments(sent[:, 0])
+            seq_col = fields[:, 4]
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                start_seq = sequence_block(
+                    channels[int(senders[lo])],
+                    int(targets[lo]),
                     KIND_WALK_BATCH,
-                    (
-                        int(fields[i, 0]),
-                        int(fields[i, 1]),
-                        int(fields[i, 2]),
-                        int(fields[i, 3]),
-                    ),
+                    rows_t[lo:hi],
                     round_number,
+                )
+                seq_col[lo:hi] = np.arange(
+                    start_seq, start_seq + (hi - lo)
                 )
             bulk_outbox.push_rows(
                 KIND_WALK_BATCH, senders, targets, fields

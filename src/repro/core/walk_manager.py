@@ -45,6 +45,23 @@ KIND_WALK = "walk"
 KIND_WALK_BATCH = "walkb"
 
 
+def sequence_block(
+    channel,
+    neighbor: int,
+    kind: str,
+    payload_rows: list[tuple[int, ...]],
+    round_number: int,
+) -> int:
+    """Sequence a head-of-queue block of messages all shipped on one
+    edge this round through the sender's reliable channel; returns the
+    first seq (rows get consecutive seqs in order).  Shared by the
+    per-message :meth:`WalkManager.send_round` and the fast-path
+    engine's ``_emit_reliable`` so both allocate identically."""
+    return channel.register_block(
+        neighbor, kind, payload_rows, round_number
+    )
+
+
 class TransportPolicy(enum.Enum):
     """How queued walk tokens map onto messages."""
 
@@ -335,13 +352,14 @@ class WalkManager:
         for neighbor, source, remaining, half, count in entries:
             if self.policy is TransportPolicy.QUEUE:
                 if channel is not None:
-                    for _ in range(count):
-                        seq = channel.register_sent(
-                            neighbor,
-                            KIND_WALK,
-                            (source, remaining, half),
-                            ctx.round_number,
-                        )
+                    start = sequence_block(
+                        channel,
+                        neighbor,
+                        KIND_WALK,
+                        [(source, remaining, half)] * count,
+                        ctx.round_number,
+                    )
+                    for seq in range(start, start + count):
                         ctx.send(
                             neighbor, KIND_WALK, source, remaining, half, seq
                         )
@@ -351,10 +369,11 @@ class WalkManager:
                 sent += count
             else:
                 if channel is not None:
-                    seq = channel.register_sent(
+                    seq = sequence_block(
+                        channel,
                         neighbor,
                         KIND_WALK_BATCH,
-                        (source, remaining, half, count),
+                        [(source, remaining, half, count)],
                         ctx.round_number,
                     )
                     ctx.send(

@@ -1,0 +1,152 @@
+"""Cross-loop equivalence of the *vectorized* reliable path.
+
+The fast path's reliable machinery (array-level ARQ acceptance in
+``walk_engine._dedup_claimed``, block seq assignment in
+``_emit_reliable``, and the lexsort-grouped ``FaultRuntime.filter_bulk``)
+must reproduce the per-message loop byte for byte.  The fixed-seed
+checks in ``test_failure_injection.py`` pin a handful of schedules;
+this file adds the boundary cases those seeds happen to miss, plus a
+hypothesis sweep over random small plans that hunts edge-grouping
+regressions.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.faults import CrashWindow, FaultPlan
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.core.protocol import ProtocolConfig
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph
+
+PARAMS = WalkParameters(length=20, walks_per_source=6)
+#: Walk launch round of the stretched reliable setup; crash windows
+#: must end at or before it (estimator enforces this).
+SETUP_SLACK = ProtocolConfig(
+    length=PARAMS.length, walks_per_source=PARAMS.walks_per_source
+).setup_slack
+
+
+def _launch_round(n):
+    return 2 * SETUP_SLACK * n
+
+
+def _run_both_loops(graph, plan, seed=3, parameters=PARAMS):
+    slow = estimate_rwbc_distributed(
+        graph, parameters, seed=seed, faults=plan, vectorized=False
+    )
+    fast = estimate_rwbc_distributed(
+        graph, parameters, seed=seed, faults=plan, vectorized=True
+    )
+    return slow, fast
+
+
+def _assert_identical(slow, fast):
+    assert slow.betweenness == fast.betweenness
+    assert slow.total_rounds == fast.total_rounds
+    assert slow.phase_rounds == fast.phase_rounds
+    assert slow.metrics.total_messages == fast.metrics.total_messages
+    assert slow.metrics.faults == fast.metrics.faults
+    assert slow.recovery == fast.recovery
+    for node in slow.counts:
+        assert (slow.counts[node] == fast.counts[node]).all()
+
+
+class TestBoundaryEquivalence:
+    """Hand-picked schedules at the edges of the vectorized dedup."""
+
+    def test_crash_through_launch_round(self):
+        """A node crashed until the walk launch round misses the
+        launch milestone: every token sent to it sits unacked (the
+        engine's setup-phase ineligibility path) until it recovers,
+        performs the missed launch, and drains the retransmissions."""
+        n = 8
+        graph = cycle_graph(n)
+        launch = _launch_round(n)
+        plan = FaultPlan(
+            seed=5,
+            drop_rate=0.05,
+            crashes=(CrashWindow(node=2, start=launch - 30, end=launch),),
+        )
+        slow, fast = _run_both_loops(graph, plan)
+        _assert_identical(slow, fast)
+        assert slow.metrics.faults["crash_node_rounds"] == 30
+
+    def test_duplicate_storm(self):
+        """Heavy duplication floods the dedup with intra-round repeats
+        of the same (edge, seq) - the first-wins tie-break the batch
+        acceptance must replicate exactly."""
+        graph = erdos_renyi_graph(9, 0.5, seed=2, ensure_connected=True)
+        plan = FaultPlan(seed=13, duplicate_rate=0.4, drop_rate=0.05)
+        slow, fast = _run_both_loops(graph, plan)
+        _assert_identical(slow, fast)
+        assert slow.metrics.faults["duplicated"] > 0
+        assert slow.recovery["duplicates_rejected"] > 0
+
+    def test_max_delay_slips(self):
+        """Long delay slips re-order seqs across rounds, so tokens
+        arrive ahead of their predecessors and park in the selective-ack
+        mask (the out-of-window branch of the array acceptance)."""
+        graph = erdos_renyi_graph(9, 0.5, seed=2, ensure_connected=True)
+        plan = FaultPlan(
+            seed=17, delay_rate=0.25, max_delay=7, drop_rate=0.05
+        )
+        slow, fast = _run_both_loops(graph, plan)
+        _assert_identical(slow, fast)
+        assert slow.metrics.faults["delayed"] > 0
+
+
+@st.composite
+def fault_plans(draw):
+    """A random small-graph chaos schedule: rates in the protocol's
+    survivable range plus an optional pre-launch crash window."""
+    n = draw(st.integers(min_value=6, max_value=14))
+    rates = {
+        "drop_rate": draw(
+            st.floats(0.0, 0.12, allow_nan=False, allow_infinity=False)
+        ),
+        "duplicate_rate": draw(
+            st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False)
+        ),
+        "delay_rate": draw(
+            st.floats(0.0, 0.15, allow_nan=False, allow_infinity=False)
+        ),
+    }
+    crashes = ()
+    if draw(st.booleans()):
+        launch = _launch_round(n)
+        span = draw(st.integers(min_value=1, max_value=40))
+        start = draw(st.integers(min_value=1, max_value=launch - span))
+        crashes = (
+            CrashWindow(
+                node=draw(st.integers(min_value=0, max_value=n - 1)),
+                start=start,
+                end=start + span,
+            ),
+        )
+    plan = FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        max_delay=draw(st.integers(min_value=1, max_value=6)),
+        crashes=crashes,
+        **rates,
+    )
+    return n, plan
+
+
+@given(case=fault_plans())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_plans_byte_identical_across_loops(case):
+    """Any survivable small plan: both loops agree byte for byte on
+    estimates, fault counters, and recovery stats."""
+    n, plan = case
+    graph = erdos_renyi_graph(n, 0.45, seed=n, ensure_connected=True)
+    if plan.is_trivial:
+        # Trivial plans skip reliable mode entirely; nothing to compare
+        # beyond what the fault-free equivalence suite already pins.
+        return
+    slow, fast = _run_both_loops(graph, plan, seed=1)
+    _assert_identical(slow, fast)

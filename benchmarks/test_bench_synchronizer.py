@@ -9,6 +9,7 @@ synchronous executor's.
 """
 
 from repro.congest.asynchronous import run_async
+from repro.congest.faults import CrashWindow, FaultPlan
 from repro.congest.primitives.bfs import make_bfs_factory
 from repro.congest.scheduler import run_program
 from repro.core.protocol import ProtocolConfig, make_protocol_factory
@@ -55,6 +56,31 @@ def collect_rows():
             / max(1, asynchronous.metrics.payload_messages),
         }
     )
+
+    # The same RWBC run under the full fault menu: the sequenced-safe +
+    # retransmit transport is the extra price of fault tolerance.
+    plan = FaultPlan(
+        seed=11,
+        drop_rate=0.1,
+        duplicate_rate=0.05,
+        delay_rate=0.05,
+        crashes=(CrashWindow(node=2, start=5, end=12),),
+    )
+    faulty = run_async(
+        graph, make_protocol_factory(config), seed=1, max_delay=8.0,
+        faults=plan,
+    )
+    rows.append(
+        {
+            "protocol": "rwbc/cycle-8+faults",
+            "sync_rounds": sync.metrics.rounds,
+            "async_rounds": faulty.metrics.rounds_completed,
+            "payload_msgs": faulty.metrics.payload_messages,
+            "control_msgs": faulty.metrics.control_messages,
+            "overhead": faulty.metrics.control_messages
+            / max(1, faulty.metrics.payload_messages),
+        }
+    )
     return rows
 
 
@@ -62,7 +88,7 @@ def test_synchronizer_overhead(once):
     rows = once(collect_rows)
     print(render_records("E16 / alpha-synchronizer overhead", rows))
 
-    bfs, rwbc = rows
+    bfs, rwbc, faulty = rows
     # Simulated rounds track the synchronous executor (small slack for
     # the drain-out tail; randomness differs so protocol rounds are a
     # different sample, not an equal number).
@@ -73,3 +99,10 @@ def test_synchronizer_overhead(once):
     # Control overhead is a bounded multiple of payload traffic for the
     # chatty protocol (it amortizes: acks ~ payloads, safes ~ edges/round).
     assert rwbc["overhead"] < 6.0
+    # Fault tolerance stays a constant factor: sequenced safes double
+    # the ack traffic and 10% loss adds retransmissions, but control
+    # traffic remains a bounded multiple of the (fault-inflated)
+    # payload count, and the faulty run masks to the same round count
+    # plus a short recovery tail.
+    assert faulty["overhead"] < 10.0
+    assert faulty["async_rounds"] <= 3 * (rwbc["async_rounds"] + 10)

@@ -166,7 +166,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
         telemetry = Telemetry()
     result = estimate_rwbc_distributed(
-        graph, parameters, seed=args.seed, faults=plan, telemetry=telemetry
+        graph,
+        parameters,
+        seed=args.seed,
+        faults=plan,
+        executor=args.executor,
+        max_delay=args.max_delay,
+        telemetry=telemetry,
     )
     if args.observe:
         from repro.obs.export import write_artifact
@@ -179,12 +185,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"# observe: wrote {count} records to {args.observe}")
     print(
         f"# chaos RWBC, n={graph.num_nodes} l={parameters.length} "
-        f"K={parameters.walks_per_source} faults=[{plan.describe()}]"
+        f"K={parameters.walks_per_source} executor={args.executor} "
+        f"faults=[{plan.describe()}]"
     )
     print(
         f"# rounds={result.total_rounds} phases={result.phase_rounds} "
         f"target={result.target}"
     )
+    if args.executor == "async":
+        metrics = result.metrics
+        print(
+            f"# async: virtual_time={metrics.virtual_time:.1f} "
+            f"payloads={metrics.payload_messages} "
+            f"control={metrics.control_messages}"
+        )
     faults = result.metrics.faults or {}
     injected = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
     print(f"# injected: {injected or 'nothing'}")
@@ -422,6 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--crash-span", type=int, default=5, help="crash window length"
+    )
+    chaos.add_argument(
+        "--executor",
+        choices=("sync", "async"),
+        default="sync",
+        help="run the reliable sync protocol or the fault-tolerant "
+        "alpha synchronizer on the event-driven async executor",
+    )
+    chaos.add_argument(
+        "--max-delay",
+        type=float,
+        default=10.0,
+        help="async executor: message delay bound in virtual time",
     )
     chaos.add_argument(
         "--baseline",

@@ -132,6 +132,18 @@ def _uniforms(base: int, salt: int, indices: np.ndarray) -> np.ndarray:
     return (_mix64(keys) >> np.uint64(11)).astype(np.float64) * 2.0**-53
 
 
+def _uniform_one(base: int, salt: int, index: int) -> float:
+    """Scalar :func:`_uniforms` for a single message index (pure Python
+    ints; bit-identical to the vectorized draw mod 2**64).  The
+    asynchronous executor decides fates one in-flight message at a
+    time, where a one-element numpy round trip would dominate."""
+    key = (
+        (base ^ (((index + 1) * _GOLDEN) & _MASK64))
+        + ((salt * 0x2545F4914F6CDD1D) & _MASK64)
+    ) & _MASK64
+    return (_mix64_int(key) >> 11) * 2.0**-53
+
+
 def _uniforms_array(
     bases: np.ndarray, salt: int, indices: np.ndarray
 ) -> np.ndarray:
@@ -356,6 +368,10 @@ class FaultRuntime:
             )
         )
         self._indices: dict[tuple[int, int, int], int] = {}
+        # Asynchronous-executor fate counters: one running index per
+        # (round, sender, receiver, kind) across the whole run (the
+        # event loop has no per-round reset point; see async_fate).
+        self._async_indices: dict[tuple[int, int, int, int], int] = {}
         self._delayed_messages: dict[int, list[Message]] = {}
         self._delayed_bulk: dict[int, dict[str, list[_DelayedRow]]] = {}
         self._crash_cache: dict[int, frozenset[int]] = {}
@@ -387,6 +403,51 @@ class FaultRuntime:
             )
             self._down_array_cache[round_number] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Asynchronous (event-driven) application
+    # ------------------------------------------------------------------
+    def async_fate(
+        self, round_number: int, sender: int, receiver: int, kind: str
+    ) -> tuple[bool, bool, int]:
+        """Fate of one asynchronously transmitted message.
+
+        Returns ``(dropped, duplicated, delay_rounds)`` - the same
+        mutually exclusive outcomes, priorities, and hash family as
+        :meth:`_fates`, evaluated one message at a time.  ``round_number``
+        is the simulated round the message belongs to (its synchronizer
+        round tag; 0 for untagged control traffic such as acks), and the
+        per-``(round, edge, kind)`` index auto-increments across the
+        run, so every transmission - including each retransmission of
+        the same payload - faces an independent draw.  Counters are
+        bumped here; crash losses are *not* decided here (the executor
+        applies crash windows at delivery time, in virtual time).
+        """
+        drop, dup, delay = self.plan.rates_for(sender, receiver)
+        if drop == dup == delay == 0.0:
+            return (False, False, 0)
+        code = kind_code(kind)
+        key = (round_number, sender, receiver, code)
+        index = self._async_indices.get(key, 0)
+        self._async_indices[key] = index + 1
+        base = _edge_base(self.plan.seed, round_number, sender, receiver, code)
+        if drop > 0.0 and _uniform_one(base, _SALT_DROP, index) < drop:
+            self.counters.dropped += 1
+            return (True, False, 0)
+        if delay > 0.0 and _uniform_one(base, _SALT_DELAY, index) < delay:
+            amount = (
+                int(
+                    _uniform_one(base, _SALT_AMOUNT, index)
+                    * self.plan.max_delay
+                )
+                + 1
+            )
+            self.counters.delayed += 1
+            return (False, False, amount)
+        if dup > 0.0 and _uniform_one(base, _SALT_DUP, index) < dup:
+            self.counters.duplicated += 1
+            return (False, True, 0)
+        return (False, False, 0)
 
     # ------------------------------------------------------------------
     # Per-round application

@@ -126,6 +126,24 @@ class OutLink:
             offset += 1
         return confirmed
 
+    def apply_ack_seqs(self, cum: int, bitmap: int) -> list[int]:
+        """Like :meth:`apply_ack`, but returns the newly confirmed seqs
+        (ascending) instead of a count.  The asynchronous executor maps
+        each confirmed seq back to the simulated round whose safety
+        gate it holds open."""
+        confirmed = [seq for seq in self.unacked if seq <= cum]
+        for seq in confirmed:
+            del self.unacked[seq]
+        offset = 0
+        while bitmap:
+            if bitmap & 1:
+                seq = cum + 1 + offset
+                if self.unacked.pop(seq, None) is not None:
+                    confirmed.append(seq)
+            bitmap >>= 1
+            offset += 1
+        return confirmed
+
     def due(self, round_number: int) -> list[int]:
         """Seqs whose last transmission has gone unacked too long."""
         if not self.unacked:

@@ -294,7 +294,22 @@ class Simulator:
                     f"no termination after {self.max_rounds} rounds "
                     f"({sum(p.halted for p in programs.values())}/"
                     f"{len(programs)} nodes halted, "
-                    f"{len(in_flight)} messages in flight)"
+                    f"{len(in_flight)} messages in flight)",
+                    context={
+                        "round": round_number,
+                        "max_rounds": self.max_rounds,
+                        "halted": sum(
+                            p.halted for p in programs.values()
+                        ),
+                        "nodes": len(programs),
+                        "in_flight": len(in_flight),
+                        "faults": (
+                            fault_rt.counters.summary()
+                            if fault_rt is not None
+                            else None
+                        ),
+                    },
+                    metrics=metrics,
                 )
             # Deliver last round's messages through the fault plan.
             crashed_now: frozenset[int] = frozenset()
@@ -450,7 +465,23 @@ class Simulator:
                     f"({sum(p.halted for p in programs.values())}/"
                     f"{len(programs)} nodes halted, "
                     f"{len(in_flight) + bulk_in_flight.total_messages} "
-                    "messages in flight)"
+                    "messages in flight)",
+                    context={
+                        "round": round_number,
+                        "max_rounds": self.max_rounds,
+                        "halted": sum(
+                            p.halted for p in programs.values()
+                        ),
+                        "nodes": len(programs),
+                        "in_flight": len(in_flight)
+                        + bulk_in_flight.total_messages,
+                        "faults": (
+                            fault_rt.counters.summary()
+                            if fault_rt is not None
+                            else None
+                        ),
+                    },
+                    metrics=metrics,
                 )
             crashed_now: frozenset[int] = frozenset()
             if fault_rt is not None:

@@ -8,7 +8,8 @@ share conventions, so their outputs are directly comparable.
 
 from __future__ import annotations
 
-from repro.congest.errors import FaultInjectionError
+from repro.congest.asynchronous import AsyncSimulator
+from repro.congest.errors import ConfigError, FaultInjectionError
 from repro.congest.faults import FaultPlan
 from repro.congest.scheduler import Simulator
 from repro.congest.transport import BandwidthPolicy
@@ -65,6 +66,8 @@ def estimate_rwbc_distributed(
     split_sampling: bool = False,
     vectorized: bool | None = None,
     faults: FaultPlan | None = None,
+    executor: str = "sync",
+    max_delay: float = 10.0,
     telemetry=None,
     tracer=None,
 ) -> DistributedRWBCResult:
@@ -106,6 +109,25 @@ def estimate_rwbc_distributed(
         windows.  Crash windows must end (no crash-stop: a node that
         never returns can never launch or certify its walks) and must
         not cover the launch round ``2 * setup_slack * n``.
+    executor:
+        ``"sync"`` (default) runs the lock-step round scheduler;
+        ``"async"`` runs the same protocol on the event-driven
+        asynchronous executor under the fault-tolerant alpha
+        synchronizer (:mod:`repro.congest.asynchronous`).  The
+        synchronizer masks all faults below the round abstraction, so
+        the *protocol-level* reliable mode stays off and the result
+        matches the fault-free synchronous run of the same seed bit for
+        bit - with or without a ``faults`` plan.  Under ``"async"``,
+        ``record_messages``, ``tracer``, and ``vectorized=True`` are
+        rejected (the event executor has no message log, tracer taps,
+        or vectorized loop), ``result.metrics`` is an
+        :class:`~repro.congest.asynchronous.AsyncMetrics`, and
+        ``result.recovery`` reports the synchronizer's transport
+        recovery (retransmissions, timeouts, duplicate rejections,
+        crash recoveries) instead of protocol-level channel stats.
+    max_delay:
+        Asynchronous executor only: message-delay bound in virtual time
+        (delays are uniform in ``[1, max_delay]``).
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  The run then records
         wall-clock spans, a per-round wall series, and instrument
@@ -125,7 +147,29 @@ def estimate_rwbc_distributed(
     n = relabeled.num_nodes
     if parameters is None:
         parameters = default_parameters(n)
-    reliable = faults is not None and not faults.is_trivial
+    if executor not in ("sync", "async"):
+        raise ConfigError(
+            f"unknown executor {executor!r}: expected 'sync' or 'async'"
+        )
+    lossy = faults is not None and not faults.is_trivial
+    # Under the async executor the synchronizer's transport handles all
+    # loss below the round abstraction; the protocol itself runs in its
+    # plain (non-reliable) shape and never observes a fault.
+    reliable = lossy and executor == "sync"
+    if executor == "async":
+        if record_messages:
+            raise ConfigError(
+                "record_messages is not supported by the async executor"
+            )
+        if tracer is not None:
+            raise ConfigError(
+                "tracer taps are not supported by the async executor"
+            )
+        if vectorized:
+            raise ConfigError(
+                "the async executor is event-driven per message; "
+                "vectorized=True cannot be honored"
+            )
     config = ProtocolConfig(
         length=parameters.length,
         walks_per_source=parameters.walks_per_source,
@@ -149,19 +193,32 @@ def estimate_rwbc_distributed(
         # fit alongside the fresh traffic of a congested round.
         extra = 4 if reliable else 2
         bandwidth = BandwidthPolicy(n=n, messages_per_edge=walk_budget + extra)
-    simulator = Simulator(
-        relabeled,
-        make_protocol_factory(config),
-        policy=bandwidth,
-        seed=seed,
-        max_rounds=max_rounds
-        or default_max_rounds(n, parameters, reliable, config.setup_slack),
-        record_messages=record_messages,
-        vectorized=vectorized,
-        faults=faults,
-        telemetry=telemetry,
-        tracer=tracer,
-    )
+    if executor == "async":
+        simulator = AsyncSimulator(
+            relabeled,
+            make_protocol_factory(config),
+            policy=bandwidth,
+            seed=seed,
+            max_delay=max_delay,
+            max_rounds=max_rounds
+            or default_max_rounds(n, parameters, lossy, config.setup_slack),
+            faults=faults,
+            telemetry=telemetry,
+        )
+    else:
+        simulator = Simulator(
+            relabeled,
+            make_protocol_factory(config),
+            policy=bandwidth,
+            seed=seed,
+            max_rounds=max_rounds
+            or default_max_rounds(n, parameters, reliable, config.setup_slack),
+            record_messages=record_messages,
+            vectorized=vectorized,
+            faults=faults,
+            telemetry=telemetry,
+            tracer=tracer,
+        )
     result = simulator.run()
 
     programs = result.programs
@@ -198,6 +255,16 @@ def estimate_rwbc_distributed(
             recovery["retransmissions"] += stats.retransmissions
             recovery["acks_sent"] += stats.acks_sent
             recovery["duplicates_rejected"] += stats.duplicates_rejected
+    elif executor == "async" and lossy:
+        # Recovery happened in the synchronizer's transport, not in the
+        # protocol; report its counters in the same slot.
+        recovery = result.metrics.recovery_summary()
+    if executor == "async":
+        message_log = None
+        fallback_reasons = ("async executor (event-driven per-message)",)
+    else:
+        message_log = result.message_log
+        fallback_reasons = result.fallback_reasons
     return DistributedRWBCResult(
         betweenness=betweenness,
         target=inverse[any_program.target],
@@ -208,9 +275,9 @@ def estimate_rwbc_distributed(
         betweenness_debiased=debiased,
         noise_floor=floor,
         edge_betweenness=edge_values,
-        message_log=result.message_log,
+        message_log=message_log,
         recovery=recovery,
-        fallback_reasons=result.fallback_reasons,
+        fallback_reasons=fallback_reasons,
         telemetry=telemetry,
     )
 

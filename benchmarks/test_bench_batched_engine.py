@@ -71,6 +71,12 @@ def compare_engines(n):
     }
 
 
+def collect_rows():
+    """E20 table for ``repro.experiments.generate``: the CI-smoke n=100
+    case only (the n=500 per-message run takes minutes)."""
+    return [compare_engines(100)]
+
+
 @pytest.mark.parametrize("n", sorted(SCHEDULE), ids=lambda n: f"n{n}")
 def test_batched_engine_speedup(benchmark, n):
     row = benchmark.pedantic(compare_engines, args=(n,), rounds=1,

@@ -78,6 +78,11 @@ def compare_faulty_engines():
     }
 
 
+def collect_rows():
+    """E21 table for ``repro.experiments.generate`` (one timed contest)."""
+    return [compare_faulty_engines()]
+
+
 @pytest.mark.benchmark(group="reliable-engine")
 def test_reliable_engine_speedup(benchmark):
     row = benchmark.pedantic(

@@ -7,8 +7,12 @@ Commands
 ``compare``   all centrality measures side by side
 ``diameter``  distributed diameter via pipelined APSP
 ``chaos``     distributed estimation under injected faults
+``sweep``     run a named scenario suite and append to its committed
+              ``BENCH_<suite>.json`` trajectory (``--check`` gates on
+              regressions against the previous entry)
 ``observe``   telemetry toolkit: run (record a JSONL artifact),
-              report (render one), diff (compare two)
+              report (render one), diff (compare two),
+              trend (render a trajectory file's history)
 ``info``      available graph families and datasets
 
 Every command takes one graph source: ``--family NAME --n N`` (synthetic,
@@ -19,6 +23,7 @@ see ``info``), ``--dataset NAME`` (bundled real networks), or
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.graphs.graph import Graph, GraphError
@@ -220,6 +225,98 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{deviation:.6f}"
         )
     _print_centrality(result.betweenness, args.top)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.experiments.scenarios import SUITES, run_suite, suite_scenarios
+    from repro.obs.trajectory import (
+        append_entry,
+        compare_entries,
+        load_trajectory,
+        new_entry,
+    )
+
+    if args.list:
+        for suite, scenarios in sorted(SUITES.items()):
+            print(f"{suite} ({len(scenarios)} scenarios):")
+            for scenario in scenarios:
+                print(f"  {scenario.name}")
+        return 0
+
+    scenarios = suite_scenarios(args.suite, only=args.only or None)
+    out_path = args.out or f"BENCH_{args.suite}.json"
+
+    def report_point(index, total, point, row):
+        wall = row.get("wall_s", 0.0)
+        detail = (
+            f"rounds={row['rounds']} messages={row['messages']}"
+            if "rounds" in row
+            else f"checksum={row.get('checksum', '?')}"
+        )
+        print(
+            f"[{index + 1}/{total}] {row['scenario']}: {detail} "
+            f"wall={wall:.3f}s"
+        )
+
+    rows = run_suite(scenarios, progress=report_point)
+    columns = [
+        "scenario", "graph", "n", "m", "variant", "executor",
+        "fault_profile", "rounds", "messages", "bits", "retransmissions",
+        "wall_s",
+    ]
+    print()
+    print(format_table(rows, columns=columns))
+
+    entry = new_entry(rows, sha=args.sha or None)
+    baseline_path = args.baseline or (
+        out_path if os.path.exists(out_path) else None
+    )
+    regressions = []
+    if baseline_path:
+        baseline = load_trajectory(baseline_path)
+        if baseline["entries"]:
+            previous = baseline["entries"][-1]
+            regressions = compare_entries(
+                previous,
+                entry,
+                wall_ratio=args.wall_ratio,
+                wall_clock=args.wall_clock,
+                wall_floor=args.wall_floor,
+            )
+            print()
+            print(
+                f"# compared against {baseline_path} entry "
+                f"sha={previous.get('sha')} date={previous.get('date')}"
+            )
+            if regressions:
+                for regression in regressions:
+                    print(f"# REGRESSION {regression}")
+            else:
+                print("# no regressions")
+    if args.check and regressions:
+        print(
+            f"error: {len(regressions)} regression(s) against the "
+            f"previous trajectory entry",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.no_append:
+        data = append_entry(out_path, entry, suite=args.suite)
+        print(
+            f"# appended entry sha={entry['sha']} to {out_path} "
+            f"({len(data['entries'])} entries)"
+        )
+    return 0
+
+
+def _cmd_observe_trend(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_trend
+    from repro.obs.trajectory import load_trajectory
+
+    trajectory = load_trajectory(args.trajectory)
+    print(render_trend(trajectory, scenario=args.scenario, last=args.last))
     return 0
 
 
@@ -463,8 +560,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(handler=_cmd_chaos)
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a scenario suite and track its perf trajectory",
+    )
+    sweep.add_argument(
+        "--suite",
+        default="smoke",
+        help="named scenario suite (see --list); default smoke",
+    )
+    sweep.add_argument(
+        "--out",
+        help="trajectory file to append to (default BENCH_<suite>.json)",
+    )
+    sweep.add_argument(
+        "--only",
+        action="append",
+        metavar="SUBSTRING",
+        help="run only scenarios whose name contains SUBSTRING (repeatable)",
+    )
+    sweep.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the fresh run regresses against the previous "
+        "trajectory entry",
+    )
+    sweep.add_argument(
+        "--baseline",
+        help="compare against the last entry of this trajectory file "
+        "instead of --out",
+    )
+    sweep.add_argument(
+        "--wall-ratio",
+        type=float,
+        default=2.0,
+        help="wall-clock regression band (fail when slower than "
+        "RATIO x previous)",
+    )
+    sweep.add_argument(
+        "--wall-floor",
+        type=float,
+        default=0.1,
+        help="minimum absolute wall-clock growth in seconds before the "
+        "band applies (sub-floor jitter is timer noise, not regression)",
+    )
+    sweep.add_argument(
+        "--wall-clock",
+        choices=("same-machine", "always", "off"),
+        default="same-machine",
+        help="when to apply the wall-clock band (default: only between "
+        "entries from identical machines)",
+    )
+    sweep.add_argument(
+        "--no-append",
+        action="store_true",
+        help="run and compare but do not append an entry",
+    )
+    sweep.add_argument(
+        "--sha", help="override the git SHA recorded in the entry"
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        help="list suites and their scenarios, then exit",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
     observe = commands.add_parser(
-        "observe", help="telemetry toolkit (run / report / diff)"
+        "observe", help="telemetry toolkit (run / report / diff / trend)"
     )
     observe_commands = observe.add_subparsers(
         dest="observe_command", required=True
@@ -523,6 +686,20 @@ def build_parser() -> argparse.ArgumentParser:
     observe_diff.add_argument("a", help="baseline artifact")
     observe_diff.add_argument("b", help="comparison artifact")
     observe_diff.set_defaults(handler=_cmd_observe_diff)
+
+    observe_trend = observe_commands.add_parser(
+        "trend", help="render a BENCH_<suite>.json trajectory history"
+    )
+    observe_trend.add_argument(
+        "trajectory", help="trajectory file (e.g. BENCH_smoke.json)"
+    )
+    observe_trend.add_argument(
+        "--scenario", help="only this scenario's history"
+    )
+    observe_trend.add_argument(
+        "--last", type=int, help="only the most recent N entries"
+    )
+    observe_trend.set_defaults(handler=_cmd_observe_trend)
 
     compare = commands.add_parser("compare", help="measure landscape")
     _add_graph_arguments(compare)

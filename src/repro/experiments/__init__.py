@@ -1,7 +1,9 @@
 """The experiment harness shared by benchmarks/ and EXPERIMENTS.md.
 
 ``workloads`` names the graphs, ``runner`` executes one experiment,
-``sweep`` runs parameter grids, ``report`` renders the tables the
+``sweep`` runs parameter grids, ``scenarios`` declares the named
+scenario matrix behind ``repro sweep`` and the committed
+``BENCH_<suite>.json`` trajectories, ``report`` renders the tables the
 benchmark suite prints.
 """
 
@@ -11,10 +13,19 @@ from repro.experiments.runner import (
     distributed_run_row,
     related_measures_row,
 )
+from repro.experiments.scenarios import (
+    SUITES,
+    Scenario,
+    run_suite,
+    scenario_row,
+    suite_scenarios,
+)
 from repro.experiments.sweep import sweep
 from repro.experiments.workloads import WORKLOADS, Workload, make_workload
 
 __all__ = [
+    "SUITES",
+    "Scenario",
     "WORKLOADS",
     "Workload",
     "accuracy_row",
@@ -23,5 +34,8 @@ __all__ = [
     "make_workload",
     "related_measures_row",
     "render_records",
+    "run_suite",
+    "scenario_row",
+    "suite_scenarios",
     "sweep",
 ]

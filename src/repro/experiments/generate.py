@@ -38,6 +38,8 @@ REGISTRY: dict[str, tuple[str, str]] = {
     "E17": ("test_bench_scale.py", "collect_rows"),
     "E18": ("test_bench_dispersion.py", "collect_rows"),
     "E19": ("test_bench_count_initial.py", "collect_rows"),
+    "E20": ("test_bench_batched_engine.py", "collect_rows"),
+    "E21": ("test_bench_reliable_engine.py", "collect_rows"),
 }
 
 

@@ -10,22 +10,33 @@ from repro.graphs.graph import GraphError
 def sweep(
     row_function: Callable[..., dict],
     grid: Iterable[dict],
+    progress: Callable[[int, int, dict, dict], None] | None = None,
     **common,
 ) -> list[dict]:
     """Run ``row_function(**point, **common)`` for every grid point.
 
     Each grid point is a dict of keyword arguments; results are returned
-    in grid order with the grid point's scalar values merged in (so the
-    output rows are self-describing even if the row function does not
-    echo them).
+    in grid order with the grid point's values merged in (so the output
+    rows are self-describing even if the row function does not echo
+    them).  Non-scalar values - nested dicts such as fault profiles,
+    lists of sizes - are echoed too, not just ints/floats/strings.
+
+    ``progress``, when given, is called after every completed point as
+    ``progress(index, total, point, row)`` (0-based index), so long
+    sweeps can report per-point status without wrapping the row
+    function.
     """
+    points = list(grid)
+    total = len(points)
     rows = []
-    for point in grid:
+    for index, point in enumerate(points):
         if not isinstance(point, dict):
             raise GraphError("grid points must be dicts of kwargs")
         row = row_function(**point, **common)
         for key, value in point.items():
-            if key not in row and isinstance(value, (int, float, str)):
+            if key not in row:
                 row[key] = value
         rows.append(row)
+        if progress is not None:
+            progress(index, total, point, row)
     return rows

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.obs.export import Artifact
 
-__all__ = ["render_diff", "render_report"]
+__all__ = ["render_diff", "render_report", "render_trend"]
 
 
 def _fmt(value) -> str:
@@ -135,6 +135,61 @@ def render_report(artifact: Artifact) -> str:
             f"trace: {artifact.trace_summary.get('events', 0)} events "
             f"({artifact.trace_summary.get('dropped', 0)} dropped)"
         )
+    return "\n".join(lines)
+
+
+#: Metric columns of the trend table, in display order.
+_TREND_METRICS = ("rounds", "messages", "bits", "retransmissions", "wall_s")
+
+
+def render_trend(
+    trajectory: dict,
+    scenario: str | None = None,
+    last: int | None = None,
+) -> str:
+    """Per-scenario history tables for one trajectory document.
+
+    One table per scenario (or just ``scenario`` when given): one row
+    per recorded entry, keyed by short SHA and date, with the tracked
+    deterministic counters and wall clock side by side so a metric's
+    drift across PRs is visible at a glance.  ``last`` keeps only the
+    most recent N entries.
+    """
+    entries = trajectory.get("entries", [])
+    if last is not None:
+        entries = entries[-last:]
+    lines = [
+        f"trajectory · suite {trajectory.get('suite')} · "
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}"
+    ]
+    names: list[str] = []
+    for entry in entries:
+        for name in entry.get("scenarios", {}):
+            if name not in names:
+                names.append(name)
+    if scenario is not None:
+        if scenario not in names:
+            known = ", ".join(names) or "none"
+            return f"{lines[0]}\nscenario {scenario!r} not found ({known})"
+        names = [scenario]
+    for name in names:
+        rows = []
+        for entry in entries:
+            metrics = entry.get("scenarios", {}).get(name)
+            if metrics is None:
+                continue
+            rows.append(
+                [
+                    entry.get("sha", "?"),
+                    str(entry.get("date", "?"))[:10],
+                    *(metrics.get(metric, "-") for metric in _TREND_METRICS),
+                ]
+            )
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"scenario {name}:")
+        lines.extend(_table(["sha", "date", *_TREND_METRICS], rows))
     return "\n".join(lines)
 
 

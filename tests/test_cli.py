@@ -223,6 +223,103 @@ class TestObserve:
         }
 
 
+class TestSweep:
+    def run_sweep(self, tmp_path, *extra):
+        path = tmp_path / "BENCH_test.json"
+        code = main(
+            [
+                "sweep",
+                "--suite",
+                "smoke",
+                "--only",
+                "er30-edges",
+                "--out",
+                str(path),
+                "--sha",
+                "test",
+                *extra,
+            ]
+        )
+        return code, path
+
+    def test_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "er30-sync" in out
+
+    def test_run_appends_trajectory(self, tmp_path, capsys):
+        code, path = self.run_sweep(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "er30-edges" in out
+        assert "appended entry" in out
+        from repro.obs.trajectory import load_trajectory
+
+        data = load_trajectory(path)
+        assert data["suite"] == "smoke"
+        assert len(data["entries"]) == 1
+        assert data["entries"][0]["sha"] == "test"
+
+    def test_check_passes_on_identical_rerun(self, tmp_path, capsys):
+        self.run_sweep(tmp_path)
+        code, path = self.run_sweep(tmp_path, "--check")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_check_fails_on_metric_change(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_test.json"
+        code = main(
+            ["sweep", "--suite", "smoke", "--only", "cycle8-async",
+             "--out", str(path), "--sha", "test"]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        for name in data["entries"][-1]["scenarios"]:
+            data["entries"][-1]["scenarios"][name]["messages"] += 1
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--suite", "smoke", "--only", "cycle8-async",
+             "--out", str(path), "--check", "--no-append"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression(s)" in captured.err
+        # --no-append left the mutated file as it was.
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+    def test_unknown_suite(self, capsys):
+        assert main(["sweep", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_trend_renders(self, tmp_path, capsys):
+        _, path = self.run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", "trend", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "suite smoke" in out
+        assert "er30-edges" in out
+
+    def test_trend_scenario_filter(self, tmp_path, capsys):
+        _, path = self.run_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["observe", "trend", str(path), "--scenario", "nope"]
+        ) == 0
+        assert "not found" in capsys.readouterr().out
+
+    def test_trend_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["observe", "trend", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_no_source(self, capsys):
         assert main(["exact"]) == 0 or True  # default --n without family

@@ -113,6 +113,32 @@ class TestSweep:
         with pytest.raises(GraphError):
             sweep(lambda: {}, [42])
 
+    def test_nonscalar_values_echoed(self):
+        def row(faults, sizes):
+            return {"ok": True}
+
+        profile = {"drop": 0.1, "crash": {"node": 3, "start": 8}}
+        rows = sweep(row, [{"faults": profile, "sizes": [10, 20]}])
+        assert rows[0]["faults"] == profile
+        assert rows[0]["sizes"] == [10, 20]
+
+    def test_row_value_wins_over_echo(self):
+        rows = sweep(lambda a: {"a": "computed"}, [{"a": "requested"}])
+        assert rows[0]["a"] == "computed"
+
+    def test_progress_callback(self):
+        seen = []
+
+        def progress(index, total, point, row):
+            seen.append((index, total, point["a"], row["value"]))
+
+        sweep(
+            lambda a: {"value": a * 2},
+            [{"a": 1}, {"a": 2}],
+            progress=progress,
+        )
+        assert seen == [(0, 2, 1, 2), (1, 2, 2, 4)]
+
 
 class TestReport:
     def test_format_basic(self):

@@ -1,0 +1,134 @@
+"""E23 - shard-scaling smoke for the sharded walk executor.
+
+Runs one counting-heavy seeded scenario at a fixed ``n`` under the
+single-process fast path and under the sharded executor at 1, 2, and 4
+worker processes, then:
+
+* asserts every run is *byte-identical* (betweenness, count tensors,
+  and the deterministic complexity counters) - sharding is an executor
+  choice, never a semantics choice;
+* writes the measured wall-clock ladder to ``BENCH_sharded.json`` (or
+  ``$BENCH_SHARDED_OUT``) so the CI sweep job can upload it as an
+  artifact and the scaling trend is inspectable across PRs;
+* gates a loose wall-clock band - the 2-worker run must not be slower
+  than ``WALL_BAND`` times the 1-worker run - but only on machines with
+  at least two CPUs (on a single core the workers serialize and the
+  band would measure pure IPC overhead, not a regression).
+
+The CI sweep job runs this with ``--benchmark-disable``: the module does
+its own timing, and one execution per shard count is the measurement.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.estimator import estimate_rwbc_distributed
+from repro.core.parameters import WalkParameters
+from repro.graphs.generators import erdos_renyi_graph
+
+#: Fixed scenario: dense enough that the counting kernel dominates.
+N = 240
+LENGTH = 720
+WALKS = 12
+SEED = 240
+
+#: Worker ladder; 0 means the plain single-process fast path.
+SHARD_LADDER = (0, 1, 2, 4)
+
+#: 2-worker wall clock may not exceed this multiple of the 1-worker
+#: run (multi-CPU machines only).  Loose on purpose: CI runners are
+#: noisy neighbors, and the exact speedup lives in the JSON artifact.
+WALL_BAND = 1.5
+
+#: Output path for the scaling ladder artifact.
+OUT_PATH = os.environ.get("BENCH_SHARDED_OUT", "BENCH_sharded.json")
+
+
+def _run(graph, parameters, shards):
+    kwargs = (
+        {}
+        if shards == 0
+        else {"executor": "sharded", "num_shards": shards}
+    )
+    start = time.perf_counter()
+    result = estimate_rwbc_distributed(
+        graph, parameters, seed=SEED, **kwargs
+    )
+    return result, time.perf_counter() - start
+
+
+def shard_ladder():
+    """Run the ladder, check identity, and return one row per rung."""
+    graph = erdos_renyi_graph(
+        N, min(0.5, 8.0 / N), seed=SEED, ensure_connected=True
+    )
+    parameters = WalkParameters(length=LENGTH, walks_per_source=WALKS)
+    base, base_seconds = _run(graph, parameters, 0)
+    rows = [
+        {
+            "shards": 0,
+            "wall_s": round(base_seconds, 4),
+            "rounds": base.total_rounds,
+            "messages": base.metrics.total_messages,
+            "bits": base.metrics.total_bits,
+        }
+    ]
+    for shards in SHARD_LADDER[1:]:
+        result, seconds = _run(graph, parameters, shards)
+        assert result.betweenness == base.betweenness
+        assert result.total_rounds == base.total_rounds
+        assert result.metrics.total_messages == base.metrics.total_messages
+        assert result.metrics.total_bits == base.metrics.total_bits
+        for node in base.counts:
+            assert np.array_equal(result.counts[node], base.counts[node])
+        rows.append(
+            {
+                "shards": shards,
+                "wall_s": round(seconds, 4),
+                "rounds": result.total_rounds,
+                "messages": result.metrics.total_messages,
+                "bits": result.metrics.total_bits,
+            }
+        )
+    return rows
+
+
+def collect_rows():
+    """E23 table for ``repro.experiments.generate``."""
+    return shard_ladder()
+
+
+def test_shard_scaling(benchmark):
+    rows = benchmark.pedantic(shard_ladder, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"shards{row['shards']}": row["wall_s"]
+                                 for row in rows})
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "scenario": {
+                    "family": "er",
+                    "n": N,
+                    "length": LENGTH,
+                    "walks": WALKS,
+                    "seed": SEED,
+                },
+                "cpus": os.cpu_count() or 1,
+                "ladder": rows,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    by_shards = {row["shards"]: row["wall_s"] for row in rows}
+    print(
+        "E23 shard ladder: "
+        + "  ".join(f"{k}w={v:.2f}s" for k, v in by_shards.items())
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert by_shards[2] <= WALL_BAND * by_shards[1], (
+            f"2-worker run ({by_shards[2]:.2f}s) slower than "
+            f"{WALL_BAND:g}x the 1-worker run ({by_shards[1]:.2f}s)"
+        )

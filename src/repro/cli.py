@@ -128,10 +128,16 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             parameters,
             seed=args.seed,
             policy=TransportPolicy(args.policy),
+            executor=args.executor,
+            num_shards=args.shards,
         )
+        executor = args.executor
+        if executor == "sharded":
+            executor = f"sharded({args.shards or 2})"
         print(
             f"# distributed RWBC, n={graph.num_nodes} "
             f"l={parameters.length} K={parameters.walks_per_source} "
+            f"executor={executor} "
             f"rounds={result.total_rounds} phases={result.phase_rounds} "
             f"target={result.target}"
         )
@@ -176,6 +182,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=plan,
         executor=args.executor,
+        num_shards=args.shards,
         max_delay=args.max_delay,
         telemetry=telemetry,
     )
@@ -262,7 +269,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     rows = run_suite(scenarios, progress=report_point)
     columns = [
-        "scenario", "graph", "n", "m", "variant", "executor",
+        "scenario", "graph", "n", "m", "variant", "executor", "shards",
         "fault_profile", "rounds", "messages", "bits", "retransmissions",
         "wall_s",
     ]
@@ -505,6 +512,19 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument(
         "--policy", choices=("queue", "batch"), default="queue"
     )
+    estimate.add_argument(
+        "--executor",
+        choices=("sync", "async", "sharded"),
+        default="sync",
+        help="distributed engine only: lock-step scheduler (sync), "
+        "alpha synchronizer (async), or the multi-process sharded "
+        "fast path (sharded; byte-identical to sync)",
+    )
+    estimate.add_argument(
+        "--shards",
+        type=int,
+        help="worker processes for --executor sharded (default 2)",
+    )
     estimate.add_argument("--top", type=int)
     estimate.set_defaults(handler=_cmd_estimate)
 
@@ -536,10 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--executor",
-        choices=("sync", "async"),
+        choices=("sync", "async", "sharded"),
         default="sync",
-        help="run the reliable sync protocol or the fault-tolerant "
-        "alpha synchronizer on the event-driven async executor",
+        help="run the reliable sync protocol, the fault-tolerant "
+        "alpha synchronizer on the event-driven async executor, or "
+        "the reliable protocol on the multi-process sharded fast path",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        help="worker processes for --executor sharded (default 2)",
     )
     chaos.add_argument(
         "--max-delay",

@@ -149,11 +149,27 @@ class SharedFastPathState:
         # may ever influence protocol behavior or randomness.
         self.profiler: object = NULL_PROFILER
         self.instruments: object | None = None
+        # Requested worker-process count for the counting engine (None
+        # or 0 = single-process).  Installed by the scheduler from its
+        # ``num_shards`` parameter; the protocol reads it when choosing
+        # which engine class to instantiate.
+        self.num_shards: int | None = None
+        # Wake requests drained by the scheduler after the driver pass:
+        # a driver (or a program called *from* a driver, outside the
+        # per-node loop) that changes a node's phase can no longer rely
+        # on the scheduler's post-step ``next_wake`` query, so it files
+        # the node's next calendar round here instead.
+        self.wake_requests: list[tuple[int, int]] = []
 
     def register_driver(self, driver: object) -> None:
         """Register a cross-node driver; drivers run in registration
         order after each round's per-node calls."""
         self.drivers.append(driver)
+
+    def request_wake(self, node: int, round_number: int) -> None:
+        """Ask the scheduler to step ``node`` at ``round_number`` even
+        if no mail arrives for it (see :meth:`VectorizedProgram.next_wake`)."""
+        self.wake_requests.append((node, round_number))
 
 
 class BulkRoundContext(RoundContext):
@@ -241,6 +257,10 @@ class NodeProgram(abc.ABC):
         self.info = info
         self.rng = rng
         self._halted = False
+        # Optional observer called with +1/-1 on halt/unhalt transitions;
+        # the fast-path scheduler installs one so global termination is
+        # an O(1) counter check instead of an O(n) scan per round.
+        self._halt_sink = None
 
     # -- framework hooks -------------------------------------------------
     def on_start(self, ctx: RoundContext) -> None:
@@ -265,10 +285,16 @@ class NodeProgram(abc.ABC):
 
     def halt(self) -> None:
         """Mark this node locally done for termination accounting."""
-        self._halted = True
+        if not self._halted:
+            self._halted = True
+            if self._halt_sink is not None:
+                self._halt_sink(1)
 
     def unhalt(self) -> None:
-        self._halted = False
+        if self._halted:
+            self._halted = False
+            if self._halt_sink is not None:
+                self._halt_sink(-1)
 
     @property
     def halted(self) -> bool:
@@ -313,3 +339,26 @@ class VectorizedProgram(NodeProgram):
     def bulk_idle(self) -> bool:
         """True when an empty round would not change this node's state."""
         return False
+
+    def next_wake(self, round_number: int) -> int | None:
+        """Earliest future round this program must be stepped even if no
+        mail arrives for it (``None`` = only mail wakes it).
+
+        Queried by the fast-path scheduler after every step (and once
+        after ``on_start``).  The returned round must be strictly greater
+        than ``round_number``.  The default preserves the historical
+        semantics exactly: a non-``bulk_idle`` program runs every round,
+        an idle one only when mail arrives.  Programs with calendar-
+        driven phases (e.g. "do nothing until round ``n``") override
+        this so the scheduler's per-round work is proportional to the
+        set of *active* nodes, not ``n`` - the difference between
+        O(rounds * n) and O(total work) at large ``n``.
+
+        Contract: between ``round_number`` and the returned wake round,
+        an empty (mail-less) step of this program must be a no-op, for
+        the same reason ``bulk_idle`` skipping is safe.  A state change
+        driven from *outside* the per-node loop (a driver switching the
+        program's phase) must be paired with a
+        :meth:`SharedFastPathState.request_wake` call when the new phase
+        needs calendar wakes."""
+        return None if self.bulk_idle else round_number + 1

@@ -236,6 +236,12 @@ class RWBCNodeProgram(VectorizedProgram):
         self.phase = PHASE_SETUP
         rank = int(rng.integers(0, max(2, info.n) ** 3))
         self._flood = FloodMaxBFS(info.node_id, rank)
+        # Fast path only: the shared exchange driver (non-reliable runs
+        # without fault injection).  When set, the whole exchange phase -
+        # column broadcasts, neighbor-count collection, and the final
+        # local computation - runs inside the driver, and this node is
+        # never woken for it.
+        self._xch_engine = None
         self._tree: FloodMaxState | None = None
         self._walks: WalkManager | None = None
         self._death_counter: DeathCounterLogic | None = None
@@ -350,6 +356,36 @@ class RWBCNodeProgram(VectorizedProgram):
         rounds are round-number driven, so the node must run every one
         of them."""
         return self.phase == PHASE_COUNTING
+
+    def next_wake(self, round_number: int) -> int | None:
+        """Calendar wakes for the fast-path scheduler.
+
+        Mirrors the phase timeline exactly: in non-reliable setup the
+        only mail-less rounds that *do* anything are the milestones
+        ``n`` (parent announcement), ``n + 1`` (degree broadcast) and
+        ``n + 2`` (launch) - between floods the ``FloodMaxBFS.step``
+        with an empty inbox is a strict no-op, so sleeping until the
+        next milestone is safe.  Reliable mode is timer-driven (ARQ
+        retransmits), so it keeps the historical every-round stepping.
+        Counting is mail-only (the engine does the work).  Exchange is
+        calendar-driven from ``_exchange_start`` unless the shared
+        exchange driver owns it, in which case the node sleeps forever
+        and the driver finishes it."""
+        if self.phase == PHASE_SETUP:
+            if self._channel is not None:
+                return round_number + 1
+            n = self.info.n
+            return n if round_number < n else round_number + 1
+        if self.phase == PHASE_COUNTING:
+            return None
+        if self.phase == PHASE_EXCHANGE:
+            if self._xch_engine is not None:
+                return None
+            if self._channel is not None:
+                return round_number + 1
+            start = self._exchange_start
+            return start if round_number < start else round_number + 1
+        return None  # PHASE_DONE: only late mail matters
 
     # ------------------------------------------------------------------
     # Phase 1: setup (leader election, tree, degrees)
@@ -495,7 +531,13 @@ class RWBCNodeProgram(VectorizedProgram):
             # engine's global count tensor.
             engine = shared.slots.get("walk_engine")
             if engine is None:
-                engine = CountingWalkEngine(n)
+                num_shards = getattr(shared, "num_shards", None)
+                if num_shards:
+                    from repro.congest.sharded import ShardedWalkEngine
+
+                    engine = ShardedWalkEngine(n, num_shards)
+                else:
+                    engine = CountingWalkEngine(n)
                 shared.slots["walk_engine"] = engine
                 shared.register_driver(engine)
             engine.register(
@@ -715,6 +757,42 @@ class RWBCNodeProgram(VectorizedProgram):
                 ctx.send(child, KIND_DONE, done_round)
         self.phase = PHASE_EXCHANGE
         self.exchange_start_round = done_round
+        shared = getattr(ctx, "shared", None)
+        if shared is not None and self._channel is not None:
+            # Reliable mode: the exchange is self-paced, one step every
+            # round from the next one on.  When this transition fired
+            # inside the engine's end-of-round pass (the root's
+            # detection) the scheduler saw no step to query, so file an
+            # ASAP wake (target 0 clamps to the next round).  Redundant
+            # after a normal mail-driven step; the scheduler dedups.
+            shared.request_wake(self.node_id, 0)
+        elif shared is not None:
+            if self._engine is not None and shared.fault_runtime is None:
+                # Fault-free fast path: hand the whole exchange phase to
+                # the shared driver.  It broadcasts every node's columns
+                # as one aggregate push per round (byte-identical
+                # traffic) and runs the final local computation directly
+                # on the engine's count tensor.
+                from repro.core.exchange_engine import ExchangeEngine
+
+                xch = shared.slots.get("exchange_engine")
+                if xch is None:
+                    xch = ExchangeEngine(
+                        self.info.n, done_round, self._engine
+                    )
+                    shared.slots["exchange_engine"] = xch
+                    shared.register_driver(xch)
+                xch.register(self)
+                self._xch_engine = xch
+            else:
+                # No driver: this transition may have happened inside
+                # the engine's end-of-round pass (the root's detection),
+                # where the scheduler cannot observe the phase change -
+                # file the calendar wake for the first exchange round
+                # explicitly.  Redundant with the post-step next_wake
+                # query when the transition happened in a normal step;
+                # the scheduler dedups.
+                shared.request_wake(self.node_id, done_round)
 
     # ------------------------------------------------------------------
     # Phase 3: exchange (Algorithm 2) + local computation
@@ -760,6 +838,11 @@ class RWBCNodeProgram(VectorizedProgram):
                 self._neighbor_matrix[rows, 1, source_column] = (
                     exchange.fields[:, 2]
                 )
+        if self._xch_engine is not None:
+            # The shared driver broadcasts this node's columns and calls
+            # ``_finish``; this step only happened because of straggler
+            # control mail, and sending here would double the traffic.
+            return
         start = self._exchange_start
         if start <= r < start + n:
             source = r - start

@@ -62,6 +62,146 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Claimed traffic of one kind: (senders, receivers, fields, multiplicity).
 ClaimedKind = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def counting_round_kernel(
+    nodes: np.ndarray,
+    sources: np.ndarray,
+    remainings: np.ndarray,
+    halves: np.ndarray,
+    counts: np.ndarray,
+    rngs,
+    alpha: float | None,
+    absorbing_target: int,
+    count_tensor: np.ndarray,
+    degrees: np.ndarray,
+    offsets: np.ndarray,
+    max_degree: int,
+    seq_start: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """One round of Algorithm 1 lines 7-15 over a canonical group array.
+
+    The node-local half of the counting round: thin (damped mode) or
+    absorb (absorbing mode), tally visits into ``count_tensor``, expire
+    zero-remaining tokens, and sample next hops into pending-table
+    entries.  Pure function of its inputs plus the per-node generators
+    in ``rngs`` - which is what makes it the unit of sharding: a worker
+    process that owns a contiguous node range runs this verbatim on its
+    slice of the canonical arrays, with the same generators in the same
+    per-node order, and necessarily produces the parent's byte-exact
+    results (``repro.congest.sharded``).
+
+    ``nodes`` must be sorted ascending (the canonical order from
+    :func:`~repro.walks.batched.aggregate_network_groups`).  Returns
+    ``(entries, death_nodes, death_counts, next_seq)``: pending-table
+    rows ``(edge id, seq, source, remaining_here, half, count)``, the
+    death deltas to fold into the convergecast (unaggregated pairs; the
+    caller ``np.add.at``s them), and the advanced sequence counter.
+    """
+    death_node_parts: list[np.ndarray] = []
+    death_count_parts: list[np.ndarray] = []
+    if alpha is not None:
+        # Damped mode: per node, one binomial over its canonical
+        # segment - the same single thin_groups call the slow path
+        # makes with the same generator.
+        starts, ends = _segments(nodes)
+        survivors = np.empty_like(counts)
+        for i in range(len(starts)):
+            a, b = starts[i], ends[i]
+            survivors[a:b] = rngs[int(nodes[a])].binomial(
+                counts[a:b], alpha
+            )
+        death_node_parts.append(nodes)
+        death_count_parts.append(counts - survivors)
+        alive = survivors > 0
+        if not alive.all():
+            nodes = nodes[alive]
+            sources = sources[alive]
+            remainings = remainings[alive]
+            halves = halves[alive]
+            counts = survivors[alive]
+        else:
+            counts = survivors
+    else:
+        # Absorbing mode: arrivals at t die without counting the
+        # visit (Eq. 3's removed row).
+        absorbed = nodes == absorbing_target
+        if absorbed.any():
+            death_node_parts.append(
+                np.array([absorbing_target], dtype=np.int64)
+            )
+            death_count_parts.append(
+                np.array([int(counts[absorbed].sum())], dtype=np.int64)
+            )
+            keep = ~absorbed
+            nodes = nodes[keep]
+            sources = sources[keep]
+            remainings = remainings[keep]
+            halves = halves[keep]
+            counts = counts[keep]
+    if len(nodes):
+        np.add.at(count_tensor, (nodes, halves, sources), counts)
+        expired = remainings == 0
+        if expired.any():
+            death_node_parts.append(nodes[expired])
+            death_count_parts.append(counts[expired])
+            live = ~expired
+            nodes = nodes[live]
+            sources = sources[live]
+            remainings = remainings[live]
+            halves = halves[live]
+            counts = counts[live]
+    if len(nodes):
+        # Sample next hops: one uniform draw per node, from that node's
+        # own generator over its canonical segment - identical stream
+        # to :func:`~repro.walks.batched.route_groups`.  Expansion,
+        # histogramming, and entry building are one batch over the
+        # whole slice.
+        groups = len(nodes)
+        token_group = np.repeat(np.arange(groups, dtype=np.int64), counts)
+        bounds = np.empty(groups + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(counts, out=bounds[1:])
+        draws = np.empty(len(token_group), dtype=np.int64)
+        starts, ends = _segments(nodes)
+        for i in range(len(starts)):
+            node = int(nodes[starts[i]])
+            lo, hi = bounds[starts[i]], bounds[ends[i]]
+            draws[lo:hi] = rngs[node].integers(
+                0, int(degrees[node]), size=int(hi - lo)
+            )
+        # Histogram tokens into (group, chosen port) cells.  Ascending
+        # cell index is group-major: for any fixed edge, groups enter
+        # the pending table in ascending canonical order - the same
+        # per-edge FIFO order the per-node path produces.
+        flat = np.bincount(
+            token_group * max_degree + draws, minlength=groups * max_degree
+        )
+        cells = np.nonzero(flat)[0]
+        group_of = cells // max_degree
+        port = cells - group_of * max_degree
+        g_nodes = nodes[group_of]
+        entries = np.empty((len(cells), 6), dtype=np.int64)
+        entries[:, 0] = offsets[g_nodes] + port
+        entries[:, 1] = np.arange(
+            seq_start, seq_start + len(cells), dtype=np.int64
+        )
+        seq_start += len(cells)
+        entries[:, 2] = sources[group_of]
+        entries[:, 3] = remainings[group_of]
+        entries[:, 4] = halves[group_of]
+        entries[:, 5] = flat[cells]
+    else:
+        entries = np.empty((0, 6), dtype=np.int64)
+    if death_node_parts:
+        death_nodes = np.concatenate(death_node_parts)
+        death_counts = np.concatenate(death_count_parts)
+    else:
+        death_nodes = _EMPTY
+        death_counts = _EMPTY
+    return entries, death_nodes, death_counts, seq_start
+
 
 class CountingWalkEngine:
     """One counting phase for the whole network, as a fast-path driver.
@@ -504,116 +644,52 @@ class CountingWalkEngine:
         nodes, sources, remainings, halves, counts = (
             aggregate_network_groups(*raw)
         )
+        entries, death_nodes, death_counts, self._seq = self._run_kernel(
+            nodes, sources, remainings, halves, counts
+        )
         deaths = self._round_deaths
-        if self._alpha is not None:
-            # Damped mode: per node, one binomial over its canonical
-            # segment - the same single thin_groups call the slow path
-            # makes with the same generator.
-            starts, ends = _segments(nodes)
-            survivors = np.empty_like(counts)
-            for i in range(len(starts)):
-                a, b = starts[i], ends[i]
-                survivors[a:b] = self._rngs[int(nodes[a])].binomial(
-                    counts[a:b], self._alpha
-                )
-            np.add.at(deaths, nodes, counts - survivors)
-            alive = survivors > 0
-            if not alive.all():
-                nodes = nodes[alive]
-                sources = sources[alive]
-                remainings = remainings[alive]
-                halves = halves[alive]
-                counts = survivors[alive]
+        if len(death_nodes):
+            np.add.at(deaths, death_nodes, death_counts)
+        if len(entries):
+            # Routed tokens are held at the edge's source until they
+            # drain through the budgeted outbox - same per-node totals
+            # as the pre-routing tally, just grouped by edge.
+            np.add.at(
+                self.held, self._edge_src[entries[:, 0]], entries[:, 5]
+            )
+            if len(self._pending):
+                self._pending = np.concatenate((self._pending, entries))
             else:
-                counts = survivors
-        else:
-            # Absorbing mode: arrivals at t die without counting the
-            # visit (Eq. 3's removed row).
-            absorbed = nodes == self._absorbing_target
-            if absorbed.any():
-                deaths[self._absorbing_target] += int(counts[absorbed].sum())
-                keep = ~absorbed
-                nodes = nodes[keep]
-                sources = sources[keep]
-                remainings = remainings[keep]
-                halves = halves[keep]
-                counts = counts[keep]
-        if len(nodes):
-            np.add.at(self.counts, (nodes, halves, sources), counts)
-            expired = remainings == 0
-            if expired.any():
-                np.add.at(deaths, nodes[expired], counts[expired])
-                live = ~expired
-                nodes = nodes[live]
-                sources = sources[live]
-                remainings = remainings[live]
-                halves = halves[live]
-                counts = counts[live]
-        if len(nodes):
-            self._route(nodes, sources, remainings, halves, counts)
+                self._pending = entries
         return np.nonzero(deaths)[0]
 
-    def _route(
+    def _run_kernel(
         self,
         nodes: np.ndarray,
         sources: np.ndarray,
         remainings: np.ndarray,
         halves: np.ndarray,
         counts: np.ndarray,
-    ) -> None:
-        """Sample next hops (one uniform draw per node, from that node's
-        own generator over its canonical segment - identical stream to
-        :func:`~repro.walks.batched.route_groups`) and append the
-        resulting per-edge groups to the pending table.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Run the counting-round kernel over the canonical arrays.
 
-        The only per-node work left is the generator call itself (the
-        random-stream contract pins one ``integers`` call per node per
-        round); expansion, histogramming, and queueing are one batch
-        over the whole network."""
-        np.add.at(self.held, nodes, counts)
-        groups = len(nodes)
-        token_group = np.repeat(
-            np.arange(groups, dtype=np.int64), counts
+        The sharded engine overrides this to fan the slice out across
+        worker processes by node range."""
+        return counting_round_kernel(
+            nodes,
+            sources,
+            remainings,
+            halves,
+            counts,
+            self._rngs,
+            self._alpha,
+            self._absorbing_target,
+            self.counts,
+            self._degrees,
+            self._offsets,
+            self._max_degree,
+            self._seq,
         )
-        bounds = np.empty(groups + 1, dtype=np.int64)
-        bounds[0] = 0
-        np.cumsum(counts, out=bounds[1:])
-        draws = np.empty(len(token_group), dtype=np.int64)
-        starts, ends = _segments(nodes)
-        rngs = self._rngs
-        degrees = self._degrees
-        for i in range(len(starts)):
-            node = int(nodes[starts[i]])
-            lo, hi = bounds[starts[i]], bounds[ends[i]]
-            draws[lo:hi] = rngs[node].integers(
-                0, int(degrees[node]), size=int(hi - lo)
-            )
-        # Histogram tokens into (group, chosen port) cells.  Ascending
-        # cell index is group-major: for any fixed edge, groups enter
-        # the pending table in ascending canonical order - the same
-        # per-edge FIFO order the per-node path produces.
-        dmax = self._max_degree
-        flat = np.bincount(
-            token_group * dmax + draws, minlength=groups * dmax
-        )
-        cells = np.nonzero(flat)[0]
-        group_of = cells // dmax
-        port = cells - group_of * dmax
-        g_nodes = nodes[group_of]
-        entries = np.empty((len(cells), 6), dtype=np.int64)
-        entries[:, 0] = self._offsets[g_nodes] + port
-        entries[:, 1] = np.arange(
-            self._seq, self._seq + len(cells), dtype=np.int64
-        )
-        self._seq += len(cells)
-        entries[:, 2] = sources[group_of]
-        entries[:, 3] = remainings[group_of]
-        entries[:, 4] = halves[group_of]
-        entries[:, 5] = flat[cells]
-        if len(self._pending):
-            self._pending = np.concatenate((self._pending, entries))
-        else:
-            self._pending = entries
 
     def _post_round(
         self,

@@ -8,6 +8,8 @@ from repro.graphs.graph import GraphError
 
 
 def _format_cell(value) -> str:
+    if value is None:
+        return ""
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):

@@ -120,6 +120,7 @@ def new_entry(
                 "fast_path",
                 "variant",
                 "executor",
+                "shards",
                 "fault_profile",
             )
             if key in row and row[key] is not None
